@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Campaign classification walkthrough (Section 4.2).
+
+Usage::
+
+    python examples/campaign_classifier.py
+
+Shows the full human-machine loop: seed labels, k-fold cross-validation,
+refinement rounds, final attribution, and — thanks to L1 sparsity — the
+handful of HTML features that identify each campaign.
+"""
+
+import numpy as np
+
+from repro import StudyRun
+from repro.ecosystem import small_preset
+from repro.classify import cross_validate_accuracy, extract_features
+from repro.reporting import render_table
+
+
+def main() -> None:
+    print("Running the study (the classifier trains inside the pipeline)...")
+    results = StudyRun(small_preset(), seed_label_count=80).execute()
+    classifier = results.classifier
+    if classifier is None:
+        raise SystemExit("not enough crawled pages to train on")
+
+    labeled = results.labeled_pages
+    labels = [p.campaign for p in labeled]
+    print(f"\nLabeled set: {len(labeled)} pages across {len(set(labels))} "
+          "campaigns (the paper hand-labeled 491 across 52).")
+
+    feature_maps = [extract_features(p.html) for p in labeled]
+    accuracy, folds = cross_validate_accuracy(feature_maps, labels,
+                                              k=min(10, len(labeled)), seed=7)
+    chance = 1.0 / len(set(labels))
+    print(f"{len(folds)}-fold CV accuracy: {accuracy:.1%} "
+          f"(chance: {chance:.1%}; paper: 86.8% vs 1.9%)")
+
+    print("\nPer-campaign model sparsity and most-predictive features:")
+    names = classifier.vocabulary.names()
+    rows = []
+    for campaign in classifier.classes:
+        model = classifier.model._models[campaign]
+        weights = model.weights
+        nonzero = int(np.count_nonzero(weights))
+        top = np.argsort(-weights)[:3]
+        top_features = ", ".join(names[i] for i in top if weights[i] > 0)
+        rows.append([campaign, nonzero, top_features[:72]])
+    print(render_table(["Campaign", "Nonzero weights", "Top positive features"], rows))
+
+    if results.attribution:
+        print(f"\nAttribution: {results.attribution.attributed_records:,} of "
+              f"{results.attribution.total_records:,} PSRs "
+              f"({results.attribution.attribution_rate:.0%}) mapped to known "
+              "campaigns; the rest stay 'unknown' (below-threshold scores).")
+
+
+if __name__ == "__main__":
+    main()

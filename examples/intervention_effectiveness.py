@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Intervention effectiveness: the paper's core question, answered on a
+simulated world — plus the Section 6 counterfactuals as ablations.
+
+Usage::
+
+    python examples/intervention_effectiveness.py
+
+Prints: label coverage and the root-only policy gap (Section 5.2.2),
+seized-store lifetimes and campaign reaction agility (Section 5.3), and an
+ablation table comparing order volume under stronger intervention policies.
+"""
+
+from repro import StudyRun
+from repro.ecosystem import small_preset
+from repro.analysis import (
+    label_coverage,
+    label_lifetimes,
+    root_only_undercount,
+    rotation_reactions,
+    run_intervention_ablations,
+    seized_store_lifetimes,
+)
+from repro.reporting import render_table
+
+
+def main() -> None:
+    print("Running the observed-policy study...")
+    results = StudyRun(small_preset(), seed_label_count=80).execute()
+    dataset = results.dataset
+
+    print("\n--- Search intervention (Section 5.2.2) ---")
+    coverage = label_coverage(dataset)
+    gap = root_only_undercount(dataset)
+    lifetimes = label_lifetimes(dataset)
+    print(f"'hacked' label coverage: {coverage.coverage:.1%} of PSRs "
+          f"(paper: 2.5%)")
+    print(f"root-only policy gap: +{gap.undercount_fraction:.0%} more results "
+          f"were labelable (paper: +49%)")
+    if lifetimes.measured_hosts:
+        print(f"doorway lifetime before labeling: "
+              f"{lifetimes.mean_lower_days:.0f}-{lifetimes.mean_upper_days:.0f} "
+              f"days across {lifetimes.measured_hosts} doorways (paper: 13-32)")
+
+    print("\n--- Seizure intervention (Section 5.3) ---")
+    for stats in seized_store_lifetimes(dataset):
+        print(f"{stats.firm}: seized stores monetized for "
+              f"{stats.mean_lower_days:.0f}-{stats.mean_upper_days:.0f} days "
+              f"before seizure (n={stats.measured})")
+    for stats in rotation_reactions(dataset):
+        print(f"{stats.firm}: {stats.redirected_stores}/{stats.seized_stores} "
+              f"seized stores re-emerged on new domains in "
+              f"{stats.mean_reaction_days:.0f} days "
+              f"({stats.reseized_stores} re-seized)")
+
+    print("\n--- Section 6 counterfactuals (ablations) ---")
+    print("Re-running the same world under variant intervention policies...")
+    outcomes = run_intervention_ablations(lambda: small_preset())
+    baseline = outcomes[0]
+    print(render_table(
+        ["Policy", "Orders", "vs base", "Sales", "vs base", "PSRs", "Seized"],
+        [[o.name, o.total_orders, f"{o.orders_vs(baseline):.2f}x",
+          o.completed_sales, f"{o.sales_vs(baseline):.2f}x",
+          o.psr_count, o.seized_domains] for o in outcomes],
+    ))
+    unopposed = next(o for o in outcomes if o.name == "no-interventions")
+    print(f"\nThe observed policy mix leaves campaigns "
+          f"{baseline.orders_vs(unopposed):.0%} of their unopposed revenue — "
+          "the paper's 'limited impact' finding. The strengthened policies "
+          "below baseline show what coverage and responsiveness would buy.")
+
+
+if __name__ == "__main__":
+    main()

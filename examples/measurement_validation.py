@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Measurement-methodology validation: the checks the paper ran on its own
+pipeline, reproduced end to end.
+
+Usage::
+
+    python examples/measurement_validation.py
+
+Covers: keyword harvesting from doorway URLs via ``site:`` queries (the
+Section 4.1.1 kit-keyword method), the alternate-terms bias check, and
+infrastructure-graph clustering as independent validation of the campaign
+classifier (Section 4.2.3).
+"""
+
+from repro import StudyRun
+from repro.crawler import CrawlPolicy
+from repro.ecosystem import Simulator, small_preset
+from repro.search import harvest_terms_from_host
+from repro.analysis import cluster_infrastructure, run_bias_experiment
+from repro.reporting import render_table
+
+
+def main() -> None:
+    config = small_preset()
+    config.term_universe_factor = 2.0  # monitor a subset of the term space
+    print("Running the study...")
+    results = StudyRun(
+        config, crawl_policy=CrawlPolicy(stride_days=2), seed_label_count=80
+    ).execute()
+    world = results.world
+
+    print("\n--- Keyword harvesting (Section 4.1.1, kit-keyword method) ---")
+    campaign = world.campaign_by_name("KEY")
+    doorway = campaign.doorways[0]
+    harvested = harvest_terms_from_host(world.engine, doorway.host, world.window.end)
+    print(f"site:{doorway.host} yields {len(harvested)} keyword(s):")
+    for term in harvested[:6]:
+        print(f"  {term}")
+
+    print("\n--- Alternate-terms bias check (Section 4.1.1) ---")
+    for result in run_bias_experiment(world, world.window.end, seed=1):
+        print(f"  {result.vertical:<15} overlap {result.overlap_terms}/"
+              f"{len(result.original.terms)}  poisoned "
+              f"{result.original.psr_fraction:.3f} vs "
+              f"{result.alternate.psr_fraction:.3f}  "
+              f"campaign-mix distance {result.campaign_distribution_distance():.2f}")
+    print("  -> same campaigns, similar rates: the monitored terms are "
+          "representative.")
+
+    print("\n--- Infrastructure clustering (Section 4.2.3 validation) ---")
+    report = cluster_infrastructure(results.dataset)
+    rows = []
+    for cluster in report.multi_host_clusters()[:8]:
+        rows.append([
+            cluster.index, len(cluster.doorway_hosts), len(cluster.store_hosts),
+            cluster.dominant_campaign or "(unknown)", f"{cluster.purity:.0%}",
+        ])
+    print(render_table(
+        ["Cluster", "Doorways", "Stores", "Classifier says", "Agreement"],
+        rows, title="Connected components of the doorway-store graph",
+    ))
+    print(f"Weighted mean purity: {report.mean_purity:.1%} — infrastructure "
+          "and HTML-template evidence agree on campaign boundaries.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Analysis layer: turns the PSR dataset, order samples, and analytics
+scrapes into the paper's tables and figures (Section 5)."""
+
+from repro.analysis.aggregates import DailyAggregates
+from repro.analysis.ecosystem import vertical_table, campaign_table, VerticalRow, CampaignRow
+from repro.analysis.verticals import (
+    poisoning_series,
+    sparkline_extremes,
+    stacked_attribution,
+    StackedSeries,
+)
+from repro.analysis.correlation import campaign_figure4, CampaignPanel, pearson
+from repro.analysis.labels import label_coverage, root_only_undercount, label_lifetimes, LabelStats
+from repro.analysis.seizures import (
+    seizure_table,
+    SeizureRow,
+    seized_store_lifetimes,
+    rotation_reactions,
+)
+from repro.analysis.case_studies import (
+    rotation_case_study,
+    RotationCaseStudy,
+    conversion_metrics,
+    ConversionMetrics,
+    seizure_order_case_study,
+    SeizureOrderCaseStudy,
+)
+from repro.analysis.supplier import supplier_summary, SupplierSummary
+from repro.analysis.ablations import (
+    AblationOutcome,
+    run_ablation,
+    ablation_variants,
+    run_intervention_ablations,
+)
+from repro.analysis.infrastructure import (
+    build_infrastructure_graph,
+    cluster_infrastructure,
+    InfrastructureCluster,
+    InfrastructureReport,
+)
+from repro.analysis.term_bias import (
+    BiasCheckResult,
+    TermSetObservation,
+    alternate_term_sample,
+    term_bias_check,
+    run_bias_experiment,
+)
+
+__all__ = [
+    "DailyAggregates",
+    "vertical_table",
+    "campaign_table",
+    "VerticalRow",
+    "CampaignRow",
+    "poisoning_series",
+    "sparkline_extremes",
+    "stacked_attribution",
+    "StackedSeries",
+    "campaign_figure4",
+    "CampaignPanel",
+    "pearson",
+    "label_coverage",
+    "root_only_undercount",
+    "label_lifetimes",
+    "LabelStats",
+    "seizure_table",
+    "SeizureRow",
+    "seized_store_lifetimes",
+    "rotation_reactions",
+    "rotation_case_study",
+    "RotationCaseStudy",
+    "conversion_metrics",
+    "ConversionMetrics",
+    "seizure_order_case_study",
+    "SeizureOrderCaseStudy",
+    "supplier_summary",
+    "SupplierSummary",
+    "AblationOutcome",
+    "run_ablation",
+    "ablation_variants",
+    "run_intervention_ablations",
+    "build_infrastructure_graph",
+    "cluster_infrastructure",
+    "InfrastructureCluster",
+    "InfrastructureReport",
+    "BiasCheckResult",
+    "TermSetObservation",
+    "alternate_term_sample",
+    "term_bias_check",
+    "run_bias_experiment",
+]

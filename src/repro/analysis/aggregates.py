@@ -1,0 +1,94 @@
+"""One-pass daily aggregates over a PSR dataset.
+
+Every figure needs per-(vertical, day) and per-(campaign, day) counts; this
+builds them all in a single scan so analyses stay O(records).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.util.simtime import SimDate
+from repro.crawler.records import PsrDataset
+
+
+@dataclass
+class DayCell:
+    """Counts for one (vertical, day)."""
+
+    total: int = 0
+    top10: int = 0
+    penalized: int = 0
+    penalized_top10: int = 0
+    by_campaign: Dict[str, int] = field(default_factory=dict)
+    by_campaign_top10: Dict[str, int] = field(default_factory=dict)
+
+
+class DailyAggregates:
+    """Precomputed per-day views of a PSR dataset."""
+
+    def __init__(self, dataset: PsrDataset):
+        self.dataset = dataset
+        #: (vertical, ordinal) -> DayCell; "" campaign = unattributed.
+        self._cells: Dict[Tuple[str, int], DayCell] = {}
+        #: campaign -> ordinal -> count (all verticals, top-100).
+        self._campaign_daily: Dict[str, Dict[int, int]] = defaultdict(dict)
+        self._campaign_daily_top10: Dict[str, Dict[int, int]] = defaultdict(dict)
+        self._ordinals: Set[int] = set()
+        for record in dataset.records:
+            key = (record.vertical, record.day.ordinal)
+            cell = self._cells.get(key)
+            if cell is None:
+                cell = self._cells[key] = DayCell()
+            cell.total += 1
+            campaign = record.campaign
+            cell.by_campaign[campaign] = cell.by_campaign.get(campaign, 0) + 1
+            if record.in_top10:
+                cell.top10 += 1
+                cell.by_campaign_top10[campaign] = cell.by_campaign_top10.get(campaign, 0) + 1
+            if record.penalized:
+                cell.penalized += 1
+                if record.in_top10:
+                    cell.penalized_top10 += 1
+            if campaign:
+                daily = self._campaign_daily[campaign]
+                daily[record.day.ordinal] = daily.get(record.day.ordinal, 0) + 1
+                if record.in_top10:
+                    daily10 = self._campaign_daily_top10[campaign]
+                    daily10[record.day.ordinal] = daily10.get(record.day.ordinal, 0) + 1
+            self._ordinals.add(record.day.ordinal)
+
+    # ------------------------------------------------------------------ #
+
+    def ordinals(self) -> List[int]:
+        return sorted(self._ordinals)
+
+    def crawl_ordinals(self) -> List[int]:
+        return [d.ordinal for d in self.dataset.crawl_days()]
+
+    def cell(self, vertical: str, ordinal: int) -> Optional[DayCell]:
+        return self._cells.get((vertical, ordinal))
+
+    def campaign_series(self, campaign: str, topk: int = 100) -> Dict[int, int]:
+        if topk <= 10:
+            return dict(self._campaign_daily_top10.get(campaign, {}))
+        return dict(self._campaign_daily.get(campaign, {}))
+
+    def campaigns(self) -> List[str]:
+        return sorted(self._campaign_daily)
+
+    def campaign_totals(self, vertical: Optional[str] = None) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        if vertical is None:
+            for campaign, series in self._campaign_daily.items():
+                totals[campaign] = sum(series.values())
+            return totals
+        for (v, _), cell in self._cells.items():
+            if v != vertical:
+                continue
+            for campaign, count in cell.by_campaign.items():
+                if campaign:
+                    totals[campaign] = totals.get(campaign, 0) + count
+        return totals

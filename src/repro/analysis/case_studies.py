@@ -1,0 +1,242 @@
+"""Case studies: Figures 5 and 6 plus the conversion metrics of §5.2.3.
+
+* :func:`rotation_case_study` — a store rotating across domains (the
+  BIGLOVE coco*.com Chanel store): PSR prevalence, AWStats traffic, and
+  order volume, segmented by domain tenure.
+* :func:`conversion_metrics` — visits, referrer retention, pages/visit,
+  and the visit→order conversion rate for one store.
+* :func:`seizure_order_case_study` — order-number curves for several of a
+  campaign's stores around a seizure event (the PHP?P= Abercrombie-UK
+  figure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.util.simtime import SimDate
+from repro.crawler.records import PsrDataset
+from repro.crawler.awstats import scrape_awstats, AwstatsNotPublic
+from repro.market.traffic import AwstatsReport
+from repro.orders.purchase_pair import OrderVolumeSeries, TestOrderer, TrackedStore
+
+
+@dataclass
+class RotationCaseStudy:
+    """Figure 5's aligned panels for one rotating store."""
+
+    store_key: str
+    campaign: str
+    hosts: List[str]
+    #: host -> (first day ordinal, last day ordinal) observed in PSR landings.
+    tenures: Dict[str, Tuple[int, int]]
+    #: day ordinal -> PSR count (top 100 / top 10) landing on any tenure host.
+    top100_series: Dict[int, int]
+    top10_series: Dict[int, int]
+    #: day ordinal -> visits (from AWStats when public, else empty).
+    traffic_series: Dict[int, int]
+    volume_points: List[Tuple[int, float]]
+    rate_bins: List[Tuple[int, float]]
+
+    @property
+    def rotations(self) -> int:
+        return max(0, len(self.hosts) - 1)
+
+
+def _pick_rotating_store(
+    orderer: TestOrderer, campaign: Optional[str]
+) -> Optional[TrackedStore]:
+    candidates = [
+        t for t in orderer.tracked_with_samples()
+        if len(t.hosts_seen) >= 2 and (campaign is None or t.campaign_hint == campaign)
+    ]
+    if not candidates:
+        return None
+    return max(candidates, key=lambda t: (len(t.hosts_seen), len(t.samples)))
+
+
+def rotation_case_study(
+    dataset: PsrDataset,
+    orderer: TestOrderer,
+    world=None,
+    campaign: Optional[str] = None,
+    store_key: Optional[str] = None,
+) -> Optional[RotationCaseStudy]:
+    """Build the Figure 5 panels for a rotating store.
+
+    Picks the campaign's most-rotated tracked store unless ``store_key``
+    pins one.  Traffic comes from the store's public AWStats when exposed
+    (as for coco*.com); otherwise the traffic panel stays empty.
+    """
+    if store_key is not None:
+        tracked = orderer.tracked.get(store_key)
+    else:
+        tracked = _pick_rotating_store(orderer, campaign)
+    if tracked is None:
+        return None
+    hosts = list(dict.fromkeys(tracked.hosts_seen))
+    host_set = set(hosts)
+
+    top100: Dict[int, int] = {}
+    top10: Dict[int, int] = {}
+    tenures: Dict[str, Tuple[int, int]] = {}
+    for record in dataset.records:
+        if record.landing_host not in host_set:
+            continue
+        ordinal = record.day.ordinal
+        top100[ordinal] = top100.get(ordinal, 0) + 1
+        if record.in_top10:
+            top10[ordinal] = top10.get(ordinal, 0) + 1
+        first, last = tenures.get(record.landing_host, (ordinal, ordinal))
+        tenures[record.landing_host] = (min(first, ordinal), max(last, ordinal))
+
+    traffic: Dict[int, int] = {}
+    if world is not None:
+        store = world.store_at(tracked.key)
+        if store is not None and store.awstats_public:
+            report = scrape_awstats(store, world.window.start, world.window.end)
+            traffic = dict(report.daily_visits)
+
+    series = OrderVolumeSeries(tracked.samples)
+    base = series.samples[0].order_number if series.samples else 0
+    volume_points = [
+        (s.day.ordinal, float(s.order_number - base)) for s in series.samples
+    ]
+    return RotationCaseStudy(
+        store_key=tracked.key,
+        campaign=tracked.campaign_hint,
+        hosts=hosts,
+        tenures=tenures,
+        top100_series=top100,
+        top10_series=top10,
+        traffic_series=traffic,
+        volume_points=volume_points,
+        rate_bins=series.rate_histogram(),
+    )
+
+
+@dataclass
+class ConversionMetrics:
+    """Section 5.2.3's funnel numbers for one store."""
+
+    store_key: str
+    total_visits: int
+    referrer_fraction: float
+    pages_per_visit: float
+    referrer_doorways: int
+    #: Of the referring doorways, how many our own crawl had seen (47.7%
+    #: for coco*.com — the crawl monitors a subset of terms).
+    referrer_doorways_seen_in_crawl: int
+    orders_created: int
+
+    @property
+    def conversion_rate(self) -> float:
+        """Orders per visit (paper: ~0.7%, a sale every ~151 visits)."""
+        if self.total_visits == 0:
+            return 0.0
+        return self.orders_created / self.total_visits
+
+    @property
+    def visits_per_order(self) -> float:
+        if self.orders_created == 0:
+            return 0.0
+        return self.total_visits / self.orders_created
+
+
+def conversion_metrics(
+    dataset: PsrDataset,
+    orderer: TestOrderer,
+    world,
+    store_key: str,
+    first_day: SimDate,
+    last_day: SimDate,
+) -> Optional[ConversionMetrics]:
+    """Join AWStats traffic with purchase-pair order estimates."""
+    tracked = orderer.tracked.get(store_key)
+    store = world.store_at(store_key)
+    if tracked is None or store is None:
+        return None
+    try:
+        report = scrape_awstats(store, first_day, last_day)
+    except AwstatsNotPublic:
+        return None
+    series = OrderVolumeSeries(
+        [s for s in tracked.samples if first_day <= s.day <= last_day]
+    )
+    crawled_doorways = dataset.doorway_hosts()
+    referrer_hosts = set(report.referrer_hosts)
+    return ConversionMetrics(
+        store_key=store_key,
+        total_visits=report.total_visits,
+        referrer_fraction=report.referrer_fraction,
+        pages_per_visit=report.pages_per_visit,
+        referrer_doorways=len(referrer_hosts),
+        referrer_doorways_seen_in_crawl=len(referrer_hosts & crawled_doorways),
+        orders_created=series.total_orders_created(),
+    )
+
+
+@dataclass
+class StoreOrderTrack:
+    """One store's curve in Figure 6."""
+
+    store_key: str
+    locale_label: str
+    samples: List[Tuple[int, int]]
+    #: Day the store's domain was first observed seized, if ever.
+    seizure_observed: Optional[int]
+
+
+@dataclass
+class SeizureOrderCaseStudy:
+    campaign: str
+    stores: List[StoreOrderTrack]
+
+    def seized_tracks(self) -> List[StoreOrderTrack]:
+        return [s for s in self.stores if s.seizure_observed is not None]
+
+
+def seizure_order_case_study(
+    dataset: PsrDataset,
+    orderer: TestOrderer,
+    campaign: str,
+    max_stores: int = 4,
+    world=None,
+) -> SeizureOrderCaseStudy:
+    """Figure 6: order-number samples for a campaign's stores with the
+    seizure events marked."""
+    notice_day: Dict[str, int] = {}
+    for record in dataset.records:
+        if record.seizure_case and record.landing_host not in notice_day:
+            notice_day[record.landing_host] = record.day.ordinal
+
+    tracked = [
+        t for t in orderer.tracked_with_samples() if t.campaign_hint == campaign
+    ]
+    # Prefer stores that experienced a seizure, then by sample count.
+    tracked.sort(
+        key=lambda t: (
+            not any(h in notice_day for h in t.hosts_seen),
+            -len(t.samples),
+        )
+    )
+    stores: List[StoreOrderTrack] = []
+    for t in tracked[:max_stores]:
+        seizure = next(
+            (notice_day[h] for h in t.hosts_seen if h in notice_day), None
+        )
+        locale = ""
+        if world is not None:
+            store = world.store_at(t.key)
+            if store is not None:
+                locale = f"{store.brands[0].lower()}[{store.locale}]"
+        stores.append(
+            StoreOrderTrack(
+                store_key=t.key,
+                locale_label=locale or t.key,
+                samples=[(s.day.ordinal, s.order_number) for s in t.samples],
+                seizure_observed=seizure,
+            )
+        )
+    return SeizureOrderCaseStudy(campaign=campaign, stores=stores)

@@ -1,0 +1,165 @@
+"""Figure 4: PSR prevalence vs. order activity per campaign.
+
+For each campaign, four aligned series: cumulative order volume and binned
+order rates from representative tracked stores, and daily PSR counts in the
+top-100 and top-10 — plus a correlation coefficient between visibility and
+order rate, the paper's core evidence that search penalization works.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.crawler.records import PsrDataset
+from repro.orders.purchase_pair import OrderVolumeSeries, TestOrderer, TrackedStore
+from repro.analysis.aggregates import DailyAggregates
+
+
+def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation; 0.0 when either series is constant."""
+    if len(xs) != len(ys):
+        raise ValueError("series lengths differ")
+    n = len(xs)
+    if n < 2:
+        return 0.0
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x <= 0 or var_y <= 0:
+        return 0.0
+    return cov / math.sqrt(var_x * var_y)
+
+
+@dataclass
+class CampaignPanel:
+    """One column of Figure 4."""
+
+    campaign: str
+    #: Representative stores' combined cumulative volume samples.
+    volume_points: List[Tuple[int, float]]
+    #: (bin start ordinal, est. orders/day).
+    rate_bins: List[Tuple[int, float]]
+    #: day ordinal -> PSR count.
+    top100_series: Dict[int, int]
+    top10_series: Dict[int, int]
+    #: day ordinal -> penalized PSR count (the dark bar portion).
+    penalized_series: Dict[int, int]
+    stores_used: List[str]
+    #: Correlation between weekly top-100 PSR counts and order rates.
+    visibility_order_correlation: float
+
+    @property
+    def peak_rate(self) -> float:
+        return max((rate for _, rate in self.rate_bins), default=0.0)
+
+    @property
+    def max_top100(self) -> int:
+        return max(self.top100_series.values(), default=0)
+
+    @property
+    def max_top10(self) -> int:
+        return max(self.top10_series.values(), default=0)
+
+
+def _stores_of_campaign(orderer: TestOrderer, campaign: str) -> List[TrackedStore]:
+    return [
+        t for t in orderer.tracked_with_samples()
+        if t.campaign_hint == campaign
+    ]
+
+
+def campaign_figure4(
+    dataset: PsrDataset,
+    orderer: TestOrderer,
+    campaign: str,
+    representative_stores: int = 4,
+    rate_bin_days: int = 7,
+    aggregates: Optional[DailyAggregates] = None,
+) -> CampaignPanel:
+    """Build one campaign's Figure 4 panel.
+
+    Representative stores are chosen as the paper describes: visible in
+    PSRs and with the highest order activity among the campaign's tracked
+    stores.
+    """
+    aggregates = aggregates or DailyAggregates(dataset)
+    tracked = _stores_of_campaign(orderer, campaign)
+    tracked.sort(
+        key=lambda t: OrderVolumeSeries(t.samples).total_orders_created(), reverse=True
+    )
+    chosen = tracked[:representative_stores]
+
+    volume_points: List[Tuple[int, float]] = []
+    combined_rates: Dict[int, float] = {}
+    for store in chosen:
+        series = OrderVolumeSeries(store.samples)
+        base = series.samples[0].order_number if series.samples else 0
+        volume_points.extend(
+            (s.day.ordinal, float(s.order_number - base)) for s in series.samples
+        )
+        for ordinal, rate in series.daily_rates().items():
+            combined_rates[ordinal] = combined_rates.get(ordinal, 0.0) + rate
+    volume_points.sort()
+
+    rate_bins: List[Tuple[int, float]] = []
+    if combined_rates:
+        start = min(combined_rates)
+        end = max(combined_rates)
+        cursor = start
+        while cursor <= end:
+            window = [
+                combined_rates[d]
+                for d in range(cursor, min(cursor + rate_bin_days, end + 1))
+                if d in combined_rates
+            ]
+            if window:
+                rate_bins.append((cursor, sum(window) / len(window)))
+            cursor += rate_bin_days
+
+    top100 = aggregates.campaign_series(campaign, topk=100)
+    top10 = aggregates.campaign_series(campaign, topk=10)
+    penalized: Dict[int, int] = {}
+    for record in dataset.records:
+        if record.campaign == campaign and record.penalized:
+            penalized[record.day.ordinal] = penalized.get(record.day.ordinal, 0) + 1
+
+    correlation = _weekly_correlation(top100, combined_rates, rate_bin_days)
+    return CampaignPanel(
+        campaign=campaign,
+        volume_points=volume_points,
+        rate_bins=rate_bins,
+        top100_series=top100,
+        top10_series=top10,
+        penalized_series=penalized,
+        stores_used=[t.key for t in chosen],
+        visibility_order_correlation=correlation,
+    )
+
+
+def _weekly_correlation(
+    psr_series: Dict[int, int], rates: Dict[int, float], bin_days: int
+) -> float:
+    """Correlate weekly-mean PSR counts with weekly-mean order rates over
+    the overlapping span."""
+    if not psr_series or not rates:
+        return 0.0
+    start = max(min(psr_series), min(rates))
+    end = min(max(psr_series), max(rates))
+    if end - start < bin_days:
+        return 0.0
+    xs: List[float] = []
+    ys: List[float] = []
+    cursor = start
+    while cursor + bin_days <= end + 1:
+        window = range(cursor, cursor + bin_days)
+        psr_window = [psr_series.get(d, 0) for d in window]
+        rate_window = [rates[d] for d in window if d in rates]
+        if rate_window:
+            xs.append(sum(psr_window) / len(psr_window))
+            ys.append(sum(rate_window) / len(rate_window))
+        cursor += bin_days
+    return pearson(xs, ys)

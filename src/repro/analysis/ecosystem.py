@@ -1,0 +1,131 @@
+"""Ecosystem census: Tables 1 and 2.
+
+Everything here is computed from *measured* data (PSR dataset + crawled
+page archive + classifier attribution), never from simulator ground truth:
+brands abused by a campaign, for instance, are recovered by scanning its
+attributed storefront pages for known brand names, which is how a human
+analyst would do it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.util.stats import peak_range
+from repro.crawler.records import PageArchive, PsrDataset
+from repro.analysis.aggregates import DailyAggregates
+
+
+@dataclass
+class VerticalRow:
+    """One row of Table 1."""
+
+    vertical: str
+    psrs: int
+    doorways: int
+    stores: int
+    campaigns: int
+
+
+@dataclass
+class CampaignRow:
+    """One row of Table 2."""
+
+    campaign: str
+    doorways: int
+    stores: int
+    brands: int
+    peak_days: int
+
+
+def vertical_table(dataset: PsrDataset, aggregates: Optional[DailyAggregates] = None) -> List[VerticalRow]:
+    """Table 1: per-vertical PSRs, doorway domains, stores, campaigns."""
+    aggregates = aggregates or DailyAggregates(dataset)
+    rows: List[VerticalRow] = []
+    for vertical in dataset.verticals():
+        psrs = sum(1 for r in dataset.records if r.vertical == vertical)
+        doorways = len(dataset.doorway_hosts(vertical))
+        stores = len(dataset.store_hosts(vertical))
+        campaigns = len(
+            {c for c in aggregates.campaign_totals(vertical) if c}
+        )
+        rows.append(
+            VerticalRow(
+                vertical=vertical, psrs=psrs, doorways=doorways,
+                stores=stores, campaigns=campaigns,
+            )
+        )
+    return rows
+
+
+def extract_brands(html: str, brand_names: Sequence[str]) -> Set[str]:
+    """Brand trademarks visible on a page (case-insensitive substring scan)."""
+    lowered = html.lower()
+    return {name for name in brand_names if name.lower() in lowered}
+
+
+def campaign_table(
+    dataset: PsrDataset,
+    archive: PageArchive,
+    brand_names: Sequence[str],
+    min_doorways: int = 1,
+    aggregates: Optional[DailyAggregates] = None,
+) -> List[CampaignRow]:
+    """Table 2: per-campaign doorways, stores, brands, and peak duration.
+
+    Peak duration is the paper's metric (Section 5.1.2): the shortest
+    contiguous span of days containing >= 60% of the campaign's PSRs.
+    """
+    aggregates = aggregates or DailyAggregates(dataset)
+    host_campaign: Dict[str, str] = {}
+    store_campaign: Dict[str, str] = {}
+    for record in dataset.records:
+        if not record.campaign:
+            continue
+        host_campaign.setdefault(record.host, record.campaign)
+        if record.is_store:
+            store_campaign.setdefault(record.landing_host, record.campaign)
+
+    doorways_by_campaign: Dict[str, Set[str]] = {}
+    for host, campaign in host_campaign.items():
+        doorways_by_campaign.setdefault(campaign, set()).add(host)
+    stores_by_campaign: Dict[str, Set[str]] = {}
+    for host, campaign in store_campaign.items():
+        stores_by_campaign.setdefault(campaign, set()).add(host)
+
+    rows: List[CampaignRow] = []
+    for campaign in aggregates.campaigns():
+        doorways = doorways_by_campaign.get(campaign, set())
+        if len(doorways) < min_doorways:
+            continue
+        stores = stores_by_campaign.get(campaign, set())
+        brands: Set[str] = set()
+        for host in stores:
+            html = archive.stores.get(host)
+            if html:
+                brands |= extract_brands(html, brand_names)
+        series = aggregates.campaign_series(campaign)
+        peak_days = _peak_duration(series)
+        rows.append(
+            CampaignRow(
+                campaign=campaign,
+                doorways=len(doorways),
+                stores=len(stores),
+                brands=len(brands),
+                peak_days=peak_days,
+            )
+        )
+    rows.sort(key=lambda r: r.campaign)
+    return rows
+
+
+def _peak_duration(daily_series: Dict[int, int]) -> int:
+    """Peak range length in days over a sparse daily-count series."""
+    if not daily_series:
+        return 0
+    start = min(daily_series)
+    end = max(daily_series)
+    dense = [float(daily_series.get(d, 0)) for d in range(start, end + 1)]
+    lo, hi = peak_range(dense, fraction=0.6)
+    return hi - lo + 1

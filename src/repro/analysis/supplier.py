@@ -1,0 +1,75 @@
+"""Supply-side shipment analysis (Section 4.5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.market.supplier import ShipmentRecord, ShipmentStatus, Supplier
+
+WESTERN_EUROPE = ("GB", "DE", "FR", "IT")
+
+
+@dataclass
+class SupplierSummary:
+    """The headline numbers of Section 4.5."""
+
+    total_records: int
+    delivered: int
+    seized_at_source: int
+    seized_at_destination: int
+    returned: int
+    by_destination: Dict[str, int]
+
+    @property
+    def top_regions_fraction(self) -> float:
+        """US + JP + AU + Western Europe share (paper: >81%)."""
+        if self.total_records == 0:
+            return 0.0
+        top = (
+            self.by_destination.get("US", 0)
+            + self.by_destination.get("JP", 0)
+            + self.by_destination.get("AU", 0)
+            + sum(self.by_destination.get(c, 0) for c in WESTERN_EUROPE)
+        )
+        return top / self.total_records
+
+    @property
+    def delivery_rate(self) -> float:
+        if self.total_records == 0:
+            return 0.0
+        return self.delivered / self.total_records
+
+
+def supplier_summary(records: Sequence[ShipmentRecord]) -> SupplierSummary:
+    """Aggregate a scraped record set the way Section 4.5 reports it.
+
+    Delivered counts include later-returned orders (they did arrive), as in
+    the paper's accounting of 256K delivered with 1,319 returns among them.
+    """
+    by_destination: Dict[str, int] = {}
+    delivered = seized_src = seized_dst = returned = 0
+    for record in records:
+        by_destination[record.destination] = by_destination.get(record.destination, 0) + 1
+        if record.status is ShipmentStatus.DELIVERED:
+            delivered += 1
+        elif record.status is ShipmentStatus.SEIZED_AT_SOURCE:
+            seized_src += 1
+        elif record.status is ShipmentStatus.SEIZED_AT_DESTINATION:
+            seized_dst += 1
+        elif record.status is ShipmentStatus.RETURNED:
+            delivered += 1
+            returned += 1
+    return SupplierSummary(
+        total_records=len(records),
+        delivered=delivered,
+        seized_at_source=seized_src,
+        seized_at_destination=seized_dst,
+        returned=returned,
+        by_destination=by_destination,
+    )
+
+
+def scrape_and_summarize(supplier: Supplier) -> SupplierSummary:
+    """Run the bulk-lookup scrape and summarize, end to end."""
+    return supplier_summary(supplier.scrape_all())

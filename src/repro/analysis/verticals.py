@@ -1,0 +1,159 @@
+"""Per-vertical poisoning views: Figures 2 and 3.
+
+* :func:`poisoning_series` — daily % of top-10/top-100 result slots
+  poisoned (Figure 3's sparklines come from its extremes);
+* :func:`stacked_attribution` — daily share of search results per campaign
+  plus the penalized band and the unattributed remainder (Figure 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.util.simtime import SimDate
+from repro.crawler.records import PsrDataset
+from repro.analysis.aggregates import DailyAggregates
+
+
+def poisoning_series(
+    dataset: PsrDataset, vertical: str, topk: int = 100,
+    aggregates: Optional[DailyAggregates] = None,
+) -> List[Tuple[int, float]]:
+    """(day ordinal, fraction of result slots poisoned) per crawl day."""
+    aggregates = aggregates or DailyAggregates(dataset)
+    series: List[Tuple[int, float]] = []
+    for day in dataset.crawl_days():
+        coverage = dataset.coverage(day, vertical)
+        if coverage is None:
+            continue
+        slots = coverage.slots_top10 if topk <= 10 else coverage.slots_top100
+        if slots == 0:
+            series.append((day.ordinal, 0.0))
+            continue
+        cell = aggregates.cell(vertical, day.ordinal)
+        hits = 0
+        if cell is not None:
+            hits = cell.top10 if topk <= 10 else cell.total
+        series.append((day.ordinal, hits / slots))
+    return series
+
+
+@dataclass
+class SparklineExtremes:
+    vertical: str
+    topk: int
+    minimum: float
+    maximum: float
+    series: List[Tuple[int, float]]
+
+
+def sparkline_extremes(
+    dataset: PsrDataset, vertical: str, topk: int,
+    aggregates: Optional[DailyAggregates] = None,
+) -> SparklineExtremes:
+    """Figure 3's per-vertical min/max poisoned percentages."""
+    series = poisoning_series(dataset, vertical, topk, aggregates)
+    values = [v for _, v in series] or [0.0]
+    return SparklineExtremes(
+        vertical=vertical,
+        topk=topk,
+        minimum=min(values),
+        maximum=max(values),
+        series=series,
+    )
+
+
+@dataclass
+class StackedSeries:
+    """Figure 2's stacked-area data for one vertical."""
+
+    vertical: str
+    ordinals: List[int]
+    #: campaign -> fraction-of-result-slots series aligned with ordinals.
+    campaign_shares: Dict[str, List[float]]
+    #: PSRs from campaigns outside the displayed set, as one band.
+    misc_share: List[float]
+    #: Unattributed (classifier-unknown) PSR share.
+    unknown_share: List[float]
+    #: Penalized (labeled or seized) PSR share — Figure 2's red band.
+    penalized_share: List[float]
+
+    def total_poisoned(self, index: int) -> float:
+        return (
+            sum(series[index] for series in self.campaign_shares.values())
+            + self.misc_share[index]
+            + self.unknown_share[index]
+            + self.penalized_share[index]
+        )
+
+
+def stacked_attribution(
+    dataset: PsrDataset,
+    vertical: str,
+    top_campaigns: int = 5,
+    aggregates: Optional[DailyAggregates] = None,
+) -> StackedSeries:
+    """Attribute the vertical's daily PSR share to its top campaigns.
+
+    Matches Figure 2's construction: penalized PSRs form their own band;
+    active PSRs split across the vertical's ``top_campaigns`` biggest
+    campaigns, a "misc" band collapsing the remaining classified ones, and
+    an unattributed band.
+    """
+    aggregates = aggregates or DailyAggregates(dataset)
+    totals = aggregates.campaign_totals(vertical)
+    leaders = [
+        name for name, _ in sorted(totals.items(), key=lambda kv: -kv[1])[:top_campaigns]
+    ]
+    leader_set = set(leaders)
+    ordinals: List[int] = []
+    shares: Dict[str, List[float]] = {name: [] for name in leaders}
+    misc: List[float] = []
+    unknown: List[float] = []
+    penalized: List[float] = []
+    for day in dataset.crawl_days():
+        coverage = dataset.coverage(day, vertical)
+        if coverage is None or coverage.slots_top100 == 0:
+            continue
+        slots = coverage.slots_top100
+        ordinals.append(day.ordinal)
+        cell = aggregates.cell(vertical, day.ordinal)
+        if cell is None:
+            for name in leaders:
+                shares[name].append(0.0)
+            misc.append(0.0)
+            unknown.append(0.0)
+            penalized.append(0.0)
+            continue
+        # Penalized results are pulled out of their campaign bands so the
+        # stacked areas sum to the vertical's total poisoned share.
+        active_total = cell.total - cell.penalized
+        penalized.append(cell.penalized / slots)
+        misc_count = 0
+        unknown_count = cell.by_campaign.get("", 0)
+        leader_counts = {name: 0 for name in leaders}
+        for campaign, count in cell.by_campaign.items():
+            if not campaign:
+                continue
+            if campaign in leader_set:
+                leader_counts[campaign] = count
+            else:
+                misc_count += count
+        # Scale non-penalized bands so they sum to the active share.
+        classified_and_unknown = sum(leader_counts.values()) + misc_count + unknown_count
+        scale = 1.0
+        if classified_and_unknown > 0:
+            scale = active_total / classified_and_unknown
+        for name in leaders:
+            shares[name].append(leader_counts[name] * scale / slots)
+        misc.append(misc_count * scale / slots)
+        unknown.append(unknown_count * scale / slots)
+    return StackedSeries(
+        vertical=vertical,
+        ordinals=ordinals,
+        campaign_shares=shares,
+        misc_share=misc,
+        unknown_share=unknown,
+        penalized_share=penalized,
+    )

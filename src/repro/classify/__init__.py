@@ -1,0 +1,28 @@
+"""Campaign classification (Section 4.2).
+
+Maps doorway and storefront pages to SEO campaigns with an L1-regularized
+logistic regression over bag-of-words HTML features (tag-attribute-value
+triplets), trained from a small manually-labeled seed set and refined in
+human-machine rounds.
+"""
+
+from repro.classify.features import extract_features, Vocabulary, vectorize
+from repro.classify.linear import L1LogisticRegression, OneVsRestL1Logistic
+from repro.classify.crossval import kfold_indices, cross_validate_accuracy
+from repro.classify.labeling import GroundTruthOracle, build_seed_labels, RefinementLoop
+from repro.classify.pipeline import CampaignClassifier, AttributionResult
+
+__all__ = [
+    "extract_features",
+    "Vocabulary",
+    "vectorize",
+    "L1LogisticRegression",
+    "OneVsRestL1Logistic",
+    "kfold_indices",
+    "cross_validate_accuracy",
+    "GroundTruthOracle",
+    "build_seed_labels",
+    "RefinementLoop",
+    "CampaignClassifier",
+    "AttributionResult",
+]

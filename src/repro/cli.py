@@ -1,0 +1,177 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run`` — execute the full study pipeline and write the measurement
+  artifacts (PSR dataset, tables, sparklines, summary) to a directory;
+* ``ablations`` — run the intervention-policy counterfactuals and print
+  the comparison table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.study import StudyRun
+from repro.crawler import CrawlPolicy
+from repro.ecosystem import paper_preset, small_preset
+from repro.analysis import (
+    DailyAggregates,
+    campaign_table,
+    label_coverage,
+    rotation_reactions,
+    run_intervention_ablations,
+    seizure_table,
+    sparkline_extremes,
+    supplier_summary,
+    vertical_table,
+)
+from repro.reporting import render_table, sparkline_row
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Search + Seizure' (IMC 2014)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run the study pipeline and write artifacts")
+    run.add_argument("--preset", choices=("small", "paper"), default="small")
+    run.add_argument("--scale", type=float, default=0.05,
+                     help="paper-preset census scale (ignored for small)")
+    run.add_argument("--terms", type=int, default=8,
+                     help="monitored terms per vertical (paper preset)")
+    run.add_argument("--stride", type=int, default=3, help="crawl stride, days")
+    run.add_argument("--seed", type=int, default=None, help="scenario seed")
+    run.add_argument("--out", default="study-output", help="output directory")
+
+    ablations = sub.add_parser("ablations", help="run intervention counterfactuals")
+    ablations.add_argument("--days", type=int, default=70, help="window length")
+    return parser
+
+
+def _config_for(args):
+    if args.preset == "paper":
+        kwargs = {"scale": args.scale, "terms_per_vertical": args.terms}
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        return paper_preset(**kwargs)
+    if args.seed is not None:
+        return small_preset(seed=args.seed)
+    return small_preset()
+
+
+def command_run(args) -> int:
+    config = _config_for(args)
+    print(f"Running {args.preset} preset "
+          f"({len(config.verticals)} verticals, "
+          f"{len(config.all_campaign_specs())} campaigns, "
+          f"{len(config.window)} days)...", flush=True)
+    results = StudyRun(
+        config, crawl_policy=CrawlPolicy(stride_days=args.stride)
+    ).execute()
+    dataset = results.dataset
+    aggregates = DailyAggregates(dataset)
+    os.makedirs(args.out, exist_ok=True)
+
+    dataset.dump_jsonl(os.path.join(args.out, "psrs.jsonl"))
+
+    table1_rows = vertical_table(dataset, aggregates)
+    table1 = render_table(
+        ["Vertical", "# PSRs", "# Doorways", "# Stores", "# Campaigns"],
+        [[r.vertical, r.psrs, r.doorways, r.stores, r.campaigns] for r in table1_rows],
+        title="Table 1",
+    )
+    brand_names = [b.name for b in results.world.brand_catalog.all()]
+    table2_rows = campaign_table(dataset, results.archive, brand_names,
+                                 aggregates=aggregates)
+    table2_rows.sort(key=lambda r: -r.doorways)
+    table2 = render_table(
+        ["Campaign", "# Doorways", "# Stores", "# Brands", "Peak (days)"],
+        [[r.campaign, r.doorways, r.stores, r.brands, r.peak_days] for r in table2_rows],
+        title="Table 2",
+    )
+    table3_rows = seizure_table(dataset, results.crawler)
+    table3 = render_table(
+        ["Firm", "# Cases", "# Brands", "# Seized", "# Stores", "# Classified",
+         "# Campaigns"],
+        [[r.firm, r.cases, r.brands, r.seized_domains, r.observed_stores,
+          r.classified_stores, r.campaigns] for r in table3_rows],
+        title="Table 3",
+    )
+    fig3_lines = ["Figure 3 — % results poisoned (top-100)"]
+    for vertical in dataset.verticals():
+        extremes = sparkline_extremes(dataset, vertical, 100, aggregates)
+        fig3_lines.append(
+            sparkline_row(vertical, [v for _, v in extremes.series], width=40)
+        )
+
+    coverage = label_coverage(dataset)
+    summary_lines = [
+        f"PSRs: {len(dataset):,}",
+        f"doorway domains: {len(dataset.doorway_hosts()):,}",
+        f"stores: {len(dataset.store_hosts()):,}",
+        f"'hacked' label coverage: {coverage.coverage:.2%}",
+    ]
+    if results.attribution is not None:
+        summary_lines.append(
+            f"attribution rate: {results.attribution.attribution_rate:.1%} "
+            f"over {len(results.attribution.campaigns)} campaigns"
+        )
+    for stats in rotation_reactions(dataset):
+        summary_lines.append(
+            f"{stats.firm}: {stats.redirected_stores}/{stats.seized_stores} seized "
+            f"stores redirected, {stats.mean_reaction_days:.0f}d mean reaction"
+        )
+    if results.supplier is not None:
+        shipped = supplier_summary(results.supplier.scrape_all())
+        summary_lines.append(
+            f"supplier: {shipped.total_records:,} shipments, "
+            f"{shipped.delivery_rate:.0%} delivered"
+        )
+
+    artifacts = {
+        "table1.txt": table1,
+        "table2.txt": table2,
+        "table3.txt": table3,
+        "figure3.txt": "\n".join(fig3_lines),
+        "summary.txt": "\n".join(summary_lines),
+    }
+    for name, content in artifacts.items():
+        with open(os.path.join(args.out, name), "w") as handle:
+            handle.write(content + "\n")
+    print("\n".join(summary_lines))
+    print(f"\nArtifacts written to {args.out}/ "
+          f"({', '.join(sorted(artifacts))} + psrs.jsonl)")
+    return 0
+
+
+def command_ablations(args) -> int:
+    print(f"Running intervention ablations over a {args.days}-day window...",
+          flush=True)
+    outcomes = run_intervention_ablations(lambda: small_preset(days=args.days))
+    baseline = outcomes[0]
+    print(render_table(
+        ["Policy", "Orders", "vs base", "Sales", "vs base", "PSRs", "Seized"],
+        [[o.name, o.total_orders, f"{o.orders_vs(baseline):.2f}x",
+          o.completed_sales, f"{o.sales_vs(baseline):.2f}x",
+          o.psr_count, o.seized_domains] for o in outcomes],
+    ))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return command_run(args)
+    if args.command == "ablations":
+        return command_ablations(args)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

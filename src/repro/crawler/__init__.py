@@ -1,0 +1,34 @@
+"""The measurement pipeline's crawlers (Section 4.1).
+
+* :mod:`repro.crawler.dagger` — redirect-cloaking detection by fetching each
+  page as a search-referred user and as Googlebot and diffing semantics;
+* :mod:`repro.crawler.vangogh` — iframe-cloaking detection by rendering the
+  page and looking for full-viewport iframes;
+* :mod:`repro.crawler.store_detect` — counterfeit-store heuristics (cookies,
+  cart/checkout markers);
+* :mod:`repro.crawler.serp_crawler` — the daily top-100 crawl with the
+  paper's workload-trimming rules, producing the PSR dataset;
+* :mod:`repro.crawler.awstats` — scraping stores' public analytics.
+"""
+
+from repro.crawler.dagger import Dagger, DaggerResult
+from repro.crawler.vangogh import VanGogh, VanGoghResult
+from repro.crawler.store_detect import StoreDetector, StoreEvidence
+from repro.crawler.records import PsrRecord, PsrDataset, PageArchive
+from repro.crawler.serp_crawler import SearchCrawler, CrawlPolicy
+from repro.crawler.awstats import scrape_awstats
+
+__all__ = [
+    "Dagger",
+    "DaggerResult",
+    "VanGogh",
+    "VanGoghResult",
+    "StoreDetector",
+    "StoreEvidence",
+    "PsrRecord",
+    "PsrDataset",
+    "PageArchive",
+    "SearchCrawler",
+    "CrawlPolicy",
+    "scrape_awstats",
+]

@@ -1,0 +1,34 @@
+"""Scraping publicly accessible AWStats pages (Section 4.4).
+
+The paper fetched each open store's default AWStats URL
+(``http://<site>/awstats/awstats.pl?config=<site>``).  Our equivalent walks
+the same gate: only stores that left analytics public can be scraped, and
+the view covers whatever window is requested.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.util.simtime import SimDate
+from repro.market.stores import Store
+from repro.market.traffic import AwstatsReport, awstats_for
+
+
+class AwstatsNotPublic(Exception):
+    """The store's analytics endpoint is not exposed."""
+
+
+def scrape_awstats(
+    store: Store, first_day: SimDate, last_day: SimDate
+) -> AwstatsReport:
+    """Fetch the store's AWStats view over a window; raises when private."""
+    if not store.awstats_public:
+        raise AwstatsNotPublic(store.store_id)
+    host = store.host_on(last_day) or store.current_domain.name
+    return awstats_for(store.visits, host, first_day, last_day)
+
+
+def scrapeable_stores(stores: List[Store]) -> List[Store]:
+    """The subset of discovered stores with open analytics."""
+    return [store for store in stores if store.awstats_public]

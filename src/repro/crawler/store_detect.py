@@ -1,0 +1,65 @@
+"""Counterfeit-storefront detection heuristics (Section 4.1.3).
+
+Two heuristics, applied to the landing site a PSR ultimately loads:
+
+1. cookies commonly used by counterfeit luxury storefronts — payment
+   processing (Realypay, Mallpayment), e-commerce (Zen Cart, Magento), and
+   web analytics (Ajstat, CNZZ);
+2. the substrings "cart" or "checkout" anywhere on the landing page.
+
+Either hit marks the landing site as a counterfeit store.  Note that, as in
+the paper, detection is brand-agnostic: a Christian Louboutin store found
+via Louis Vuitton searches still counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.web.fetch import Response
+
+#: Cookie-name substrings that mark counterfeit-store infrastructure.
+STORE_COOKIE_MARKERS: Tuple[str, ...] = (
+    "realypay", "mallpayment", "eastpay", "goldgate", "swiftasia",  # payment
+    "zen", "magento", "frontend",  # e-commerce platforms
+    "ajstat", "cnzz",  # web analytics
+)
+CONTENT_MARKERS: Tuple[str, ...] = ("cart", "checkout")
+
+
+@dataclass
+class StoreEvidence:
+    """Why a landing site was (or wasn't) classified as a store."""
+
+    is_store: bool
+    cookie_hits: List[str] = field(default_factory=list)
+    content_hits: List[str] = field(default_factory=list)
+
+
+class StoreDetector:
+    """Applies the two storefront heuristics to a landing response."""
+
+    def __init__(
+        self,
+        cookie_markers: Tuple[str, ...] = STORE_COOKIE_MARKERS,
+        content_markers: Tuple[str, ...] = CONTENT_MARKERS,
+    ):
+        self.cookie_markers = tuple(m.lower() for m in cookie_markers)
+        self.content_markers = tuple(m.lower() for m in content_markers)
+
+    def detect(self, landing: Optional[Response]) -> StoreEvidence:
+        if landing is None or not landing.ok:
+            return StoreEvidence(is_store=False)
+        cookie_hits = [
+            cookie
+            for cookie in landing.cookies
+            if any(marker in cookie.lower() for marker in self.cookie_markers)
+        ]
+        html_lower = landing.html.lower()
+        content_hits = [m for m in self.content_markers if m in html_lower]
+        return StoreEvidence(
+            is_store=bool(cookie_hits or content_hits),
+            cookie_hits=cookie_hits,
+            content_hits=content_hits,
+        )

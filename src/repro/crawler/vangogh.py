@@ -1,0 +1,88 @@
+"""VanGogh: iframe-cloaking detection (Section 4.1.2).
+
+VanGogh renders pages (the paper used HtmlUnit, "essentially a headless
+browser complete with a JavaScript interpreter"; we use the honest
+mini-renderer in :mod:`repro.web.render`) and classifies a page as iframe
+cloaking "if they load iframes where the height and width attributes are
+both either set to 100% or larger than 800 pixels".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.util.simtime import SimDate
+from repro.html.nodes import Document, Element
+from repro.html.parser import parse_html
+from repro.web.fetch import RENDERING_CRAWLER, Response, SEARCH_USER
+from repro.web.hosting import Web
+from repro.web.render import render_document
+
+MIN_FULLPAGE_PIXELS = 800
+
+
+def _dimension_is_fullpage(value: str) -> bool:
+    value = value.strip()
+    if value.endswith("%"):
+        try:
+            return float(value[:-1]) >= 100.0
+        except ValueError:
+            return False
+    try:
+        return float(value.rstrip("px")) > MIN_FULLPAGE_PIXELS
+    except ValueError:
+        return False
+
+
+def find_fullpage_iframes(doc: Document) -> List[Element]:
+    """Iframes visually occupying the whole viewport."""
+    hits = []
+    for iframe in doc.find_all("iframe"):
+        width = iframe.get("width")
+        height = iframe.get("height")
+        if width and height and _dimension_is_fullpage(width) and _dimension_is_fullpage(height):
+            hits.append(iframe)
+    return hits
+
+
+@dataclass
+class VanGoghResult:
+    url: str
+    iframe_cloaked: bool
+    iframe_src: Optional[str]
+    #: The store page fetched through the iframe (what the user "sees").
+    landing_response: Optional[Response]
+    rendered_iframe_count: int
+
+
+class VanGogh:
+    """Render-and-inspect iframe-cloaking detector."""
+
+    def __init__(self, web: Web):
+        self.web = web
+
+    def check(self, url: str, day: SimDate) -> VanGoghResult:
+        response = self.web.fetch(url, RENDERING_CRAWLER, day)
+        if not response.ok:
+            return VanGoghResult(url, False, None, None, 0)
+        rendered = render_document(parse_html(response.html))
+        fullpage = find_fullpage_iframes(rendered)
+        if not fullpage:
+            return VanGoghResult(
+                url, False, None, None, len(rendered.find_all("iframe"))
+            )
+        src = fullpage[0].get("src")
+        landing: Optional[Response] = None
+        if src:
+            try:
+                landing = self.web.fetch(src, SEARCH_USER, day)
+            except Exception:
+                landing = None
+        return VanGoghResult(
+            url=url,
+            iframe_cloaked=True,
+            iframe_src=src or None,
+            landing_response=landing,
+            rendered_iframe_count=len(rendered.find_all("iframe")),
+        )

@@ -1,0 +1,21 @@
+"""Scenario orchestration: configuration, presets, world state, simulator."""
+
+from repro.ecosystem.events import Event, EventLog
+from repro.ecosystem.world import World, StoreSighting
+from repro.ecosystem.config import ScenarioConfig, VerticalSpec, FirmSpec
+from repro.ecosystem.presets import paper_preset, small_preset
+from repro.ecosystem.simulator import Simulator, DayContext
+
+__all__ = [
+    "Event",
+    "EventLog",
+    "World",
+    "StoreSighting",
+    "ScenarioConfig",
+    "VerticalSpec",
+    "FirmSpec",
+    "paper_preset",
+    "small_preset",
+    "Simulator",
+    "DayContext",
+]

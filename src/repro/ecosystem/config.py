@@ -1,0 +1,90 @@
+"""Scenario configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.util.simtime import DateRange, STUDY_END, STUDY_START
+from repro.seo.campaign import CampaignSpec
+from repro.interventions.search_ops import ScriptedDemotion, SearchOpsPolicy
+from repro.interventions.seizure import SeizurePolicy
+from repro.interventions.payments import PaymentPolicy
+
+
+@dataclass
+class VerticalSpec:
+    """One monitored vertical: name + brands (composites list several)."""
+
+    name: str
+    brands: List[str]
+    composite: bool = False
+
+
+@dataclass
+class FirmSpec:
+    """One brand-protection firm and its client brands."""
+
+    name: str
+    clients: List[str]
+    policy: SeizurePolicy = field(default_factory=SeizurePolicy)
+
+
+@dataclass
+class ScenarioConfig:
+    """Everything needed to build and run one scenario."""
+
+    seed: int = 20141105  # IMC'14 opening day
+    window: DateRange = field(default_factory=lambda: DateRange(STUDY_START, STUDY_END))
+    #: Search terms monitored per vertical (paper: 100).
+    terms_per_vertical: int = 12
+    #: Campaigns target a term universe this many times larger than the
+    #: monitored set (the paper's crawl covered a subset of the query
+    #: space; Section 4.1.1's bias check depends on this).
+    term_universe_factor: float = 2.0
+    #: How many results per SERP (paper crawls the top 100).
+    serp_size: int = 100
+    #: Legitimate competitor sites per vertical and index candidates/term.
+    competitor_sites_per_vertical: int = 90
+    legit_candidates_per_term: int = 140
+    #: Hackable legitimate sites available for doorway compromise.
+    compromise_pool_size: int = 2500
+    verticals: List[VerticalSpec] = field(default_factory=list)
+    campaigns: List[CampaignSpec] = field(default_factory=list)
+    #: Campaigns outside the classifier's labeled universe (their PSRs end
+    #: up in the "unknown" band of Figure 2).
+    background_campaigns: List[CampaignSpec] = field(default_factory=list)
+    search_policy: SearchOpsPolicy = field(default_factory=SearchOpsPolicy)
+    scripted_demotions: List[ScriptedDemotion] = field(default_factory=list)
+    firms: List[FirmSpec] = field(default_factory=list)
+    #: Payment intervention (Section 4.3.2's 'future work'); None = not run,
+    #: matching the paper's observed world.
+    payment_policy: Optional[PaymentPolicy] = None
+    #: Campaigns whose completed orders route through the tracked supplier.
+    supplier_partners: List[str] = field(default_factory=list)
+    #: Baseline wholesale orders/day at the supplier from untracked clients.
+    supplier_background_orders_per_day: float = 120.0
+    #: Mean pages fetched per storefront visit (paper measures 5.6).
+    pages_per_visit: float = 5.6
+    #: Direct (non-search) visits per store per day.
+    direct_visits_per_day: float = 1.0
+
+    def __post_init__(self):
+        if not self.verticals:
+            return
+        names = [v.name for v in self.verticals]
+        if len(names) != len(set(names)):
+            raise ValueError("duplicate vertical names")
+        known = set(names)
+        for spec in list(self.campaigns) + list(self.background_campaigns):
+            for vertical in spec.verticals:
+                if vertical not in known:
+                    raise ValueError(
+                        f"campaign {spec.name!r} targets unknown vertical {vertical!r}"
+                    )
+
+    def vertical_names(self) -> List[str]:
+        return [v.name for v in self.verticals]
+
+    def all_campaign_specs(self) -> List[CampaignSpec]:
+        return list(self.campaigns) + list(self.background_campaigns)

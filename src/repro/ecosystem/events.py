@@ -1,0 +1,52 @@
+"""Simulation event log.
+
+Ground-truth record of every notable action: seizure cases executed,
+campaign domain rotations, scripted demotions, labels.  The analysis layer
+uses it only in validation tests — the measurement pipeline works from
+crawled data alone, as the paper's did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.util.simtime import SimDate
+
+
+@dataclass(frozen=True)
+class Event:
+    kind: str
+    day: SimDate
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+class EventLog:
+    """Append-only, queryable by kind."""
+
+    ROTATION = "store_rotation"
+    SEIZURE_CASE = "seizure_case"
+    DEMOTION = "campaign_demotion"
+    LABEL = "hacked_label"
+
+    def __init__(self):
+        self._events: List[Event] = []
+        self._by_kind: Dict[str, List[Event]] = {}
+
+    def record(self, kind: str, day: SimDate, **payload: Any) -> Event:
+        event = Event(kind=kind, day=day, payload=dict(payload))
+        self._events.append(event)
+        self._by_kind.setdefault(kind, []).append(event)
+        return event
+
+    def of_kind(self, kind: str) -> List[Event]:
+        return list(self._by_kind.get(kind, []))
+
+    def all(self) -> List[Event]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)

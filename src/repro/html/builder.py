@@ -1,0 +1,92 @@
+"""Fluent helper for composing HTML documents programmatically.
+
+Campaign page templates (doorways, storefronts, seizure notices) are built
+with this rather than string concatenation, so generated markup is always
+well-formed and the parser/classifier round-trip is exact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.html.nodes import Comment, Document, Element, Text
+
+
+class PageBuilder:
+    """Builds a Document with a head/body skeleton and chainable helpers."""
+
+    def __init__(self, title: str = "", lang: str = "en"):
+        self.doc = Document(Element("html", {"lang": lang}))
+        self._head = self.doc.root.add("head")
+        self._head.add("meta", {"charset": "utf-8"})
+        if title:
+            self._head.add("title", text=title)
+        self._body = self.doc.root.add("body")
+
+    @property
+    def head(self) -> Element:
+        return self._head
+
+    @property
+    def body(self) -> Element:
+        return self._body
+
+    def meta(self, name: str, content: str) -> "PageBuilder":
+        self._head.add("meta", {"name": name, "content": content})
+        return self
+
+    def stylesheet(self, href: str) -> "PageBuilder":
+        self._head.add("link", {"rel": "stylesheet", "href": href})
+        return self
+
+    def script(self, code: str = "", src: str = "") -> "PageBuilder":
+        attrs = {"type": "text/javascript"}
+        if src:
+            attrs["src"] = src
+        el = self._body.add("script", attrs)
+        if code:
+            el.append(Text(code))
+        return self
+
+    def comment(self, text: str) -> "PageBuilder":
+        self._body.append(Comment(text))
+        return self
+
+    def div(self, cls: str = "", id_: str = "", text: str = "") -> Element:
+        attrs: Dict[str, str] = {}
+        if cls:
+            attrs["class"] = cls
+        if id_:
+            attrs["id"] = id_
+        return self._body.add("div", attrs, text=text)
+
+    def heading(self, text: str, level: int = 1) -> "PageBuilder":
+        if not 1 <= level <= 6:
+            raise ValueError(f"heading level must be 1..6, got {level}")
+        self._body.add(f"h{level}", text=text)
+        return self
+
+    def paragraph(self, text: str, cls: str = "") -> "PageBuilder":
+        attrs = {"class": cls} if cls else {}
+        self._body.add("p", attrs, text=text)
+        return self
+
+    def link(self, href: str, text: str, parent: Optional[Element] = None) -> "PageBuilder":
+        (parent if parent is not None else self._body).add("a", {"href": href}, text=text)
+        return self
+
+    def image(self, src: str, alt: str = "", parent: Optional[Element] = None) -> "PageBuilder":
+        (parent if parent is not None else self._body).add("img", {"src": src, "alt": alt})
+        return self
+
+    def iframe(self, src: str, width: str, height: str, **extra: str) -> "PageBuilder":
+        attrs = {"src": src, "width": width, "height": height}
+        attrs.update(extra)
+        self._body.add("iframe", attrs)
+        return self
+
+    def build(self) -> Document:
+        return self.doc
+
+    def html(self) -> str:
+        return self.doc.to_html()

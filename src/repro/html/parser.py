@@ -1,0 +1,158 @@
+"""A tolerant HTML tokenizer and tree builder.
+
+Handles the HTML our generator emits plus common sloppiness (unquoted
+attributes, unclosed tags, stray close tags) so the crawlers can parse pages
+without ever raising.  ``script`` and ``style`` contents are treated as raw
+text, which matters because iframe-cloaking JavaScript lives there.
+"""
+
+from __future__ import annotations
+
+import html as _htmllib
+import re
+from typing import Dict, Iterator, List, NamedTuple, Tuple
+
+from repro.html.nodes import Comment, Document, Element, Text, VOID_ELEMENTS
+
+#: Elements whose content is raw text until the matching close tag.
+RAW_TEXT_ELEMENTS = frozenset({"script", "style"})
+
+
+class Token(NamedTuple):
+    """A lexical token: kind is one of 'start', 'end', 'text', 'comment',
+    'doctype'; for 'start' tokens, data is the tag name and attrs the
+    attribute dict; self_closing marks ``<tag/>`` forms."""
+
+    kind: str
+    data: str
+    attrs: Dict[str, str]
+    self_closing: bool
+
+
+_ATTR_RE = re.compile(
+    r"""([a-zA-Z_:][-a-zA-Z0-9_:.]*)          # attribute name
+        (?:\s*=\s*
+            (?: "([^"]*)" | '([^']*)' | ([^\s>]+) )  # "v" | 'v' | bare
+        )?""",
+    re.VERBOSE,
+)
+_TAG_NAME_RE = re.compile(r"[a-zA-Z][-a-zA-Z0-9]*")
+
+
+def _parse_attrs(text: str) -> Tuple[Dict[str, str], bool]:
+    self_closing = text.rstrip().endswith("/")
+    attrs: Dict[str, str] = {}
+    for match in _ATTR_RE.finditer(text):
+        name = match.group(1).lower()
+        if name == "/":
+            continue
+        value = next((g for g in match.groups()[1:] if g is not None), "")
+        attrs[name] = _htmllib.unescape(value)
+    return attrs, self_closing
+
+
+def tokenize(source: str) -> Iterator[Token]:
+    """Yield tokens from HTML source; never raises on malformed input."""
+    pos = 0
+    length = len(source)
+    raw_mode_tag = None
+    while pos < length:
+        if raw_mode_tag is not None:
+            close = source.find(f"</{raw_mode_tag}", pos)
+            if close == -1:
+                if pos < length:
+                    yield Token("text", source[pos:], {}, False)
+                return
+            if close > pos:
+                yield Token("text", source[pos:close], {}, False)
+            end = source.find(">", close)
+            end = length if end == -1 else end + 1
+            yield Token("end", raw_mode_tag, {}, False)
+            pos = end
+            raw_mode_tag = None
+            continue
+
+        lt = source.find("<", pos)
+        if lt == -1:
+            yield Token("text", _htmllib.unescape(source[pos:]), {}, False)
+            return
+        if lt > pos:
+            yield Token("text", _htmllib.unescape(source[pos:lt]), {}, False)
+        if source.startswith("<!--", lt):
+            close = source.find("-->", lt + 4)
+            if close == -1:
+                yield Token("comment", source[lt + 4:], {}, False)
+                return
+            yield Token("comment", source[lt + 4:close], {}, False)
+            pos = close + 3
+            continue
+        if source.startswith("<!", lt):
+            close = source.find(">", lt)
+            if close == -1:
+                return
+            yield Token("doctype", source[lt + 2:close].strip(), {}, False)
+            pos = close + 1
+            continue
+        if source.startswith("</", lt):
+            close = source.find(">", lt)
+            if close == -1:
+                return
+            name = source[lt + 2:close].strip().lower()
+            yield Token("end", name, {}, False)
+            pos = close + 1
+            continue
+        # Start tag.
+        match = _TAG_NAME_RE.match(source, lt + 1)
+        if match is None:
+            # A bare '<' in text; emit it literally and move on.
+            yield Token("text", "<", {}, False)
+            pos = lt + 1
+            continue
+        name = match.group(0).lower()
+        close = source.find(">", match.end())
+        if close == -1:
+            return
+        attrs, self_closing = _parse_attrs(source[match.end():close])
+        yield Token("start", name, attrs, self_closing)
+        pos = close + 1
+        if name in RAW_TEXT_ELEMENTS and not self_closing:
+            raw_mode_tag = name
+
+
+def parse_html(source: str) -> Document:
+    """Parse HTML into a :class:`Document`; tolerant of malformed markup.
+
+    Content outside any ``<html>`` element is adopted into a synthesized
+    root, so the result always has a usable tree.
+    """
+    root = Element("html")
+    stack: List[Element] = [root]
+    saw_html = False
+    for token in tokenize(source):
+        if token.kind == "text":
+            if token.data:
+                stack[-1].append(Text(token.data))
+        elif token.kind == "comment":
+            stack[-1].append(Comment(token.data))
+        elif token.kind == "doctype":
+            continue
+        elif token.kind == "start":
+            if token.data == "html" and not saw_html:
+                # Merge attributes onto the synthesized root instead of
+                # nesting a second <html>.
+                saw_html = True
+                root.attrs.update(token.attrs)
+                continue
+            element = Element(token.data, token.attrs)
+            stack[-1].append(element)
+            if token.data not in VOID_ELEMENTS and not token.self_closing:
+                stack.append(element)
+        elif token.kind == "end":
+            if token.data in VOID_ELEMENTS:
+                continue
+            # Pop to the matching open tag if present; ignore stray closes.
+            for i in range(len(stack) - 1, 0, -1):
+                if stack[i].tag == token.data:
+                    del stack[i:]
+                    break
+    return Document(root)

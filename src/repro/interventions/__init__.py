@@ -1,0 +1,42 @@
+"""Interventions against SEO campaigns (Section 3.2).
+
+Two pressure points, applied at different strata of the business:
+
+* **Search** (:mod:`repro.interventions.search_ops`) — the engine's
+  anti-abuse team demotes doorways and attaches "hacked" labels.
+* **Seizure** (:mod:`repro.interventions.seizure`) — brand-protection firms
+  file periodic bulk court cases that seize storefront domains and replace
+  them with serving-notice pages.
+"""
+
+from repro.interventions.search_ops import SearchQualityTeam, SearchOpsPolicy, ScriptedDemotion
+from repro.interventions.seizure import (
+    BrandProtectionFirm,
+    CourtCase,
+    SeizurePolicy,
+    SeizureAuthority,
+)
+from repro.interventions.notices import build_notice_page, parse_notice_page, NoticeInfo
+from repro.interventions.payments import (
+    PaymentPolicy,
+    PaymentInterventionTeam,
+    TestPurchase,
+    ProcessorTermination,
+)
+
+__all__ = [
+    "SearchQualityTeam",
+    "SearchOpsPolicy",
+    "ScriptedDemotion",
+    "BrandProtectionFirm",
+    "CourtCase",
+    "SeizurePolicy",
+    "SeizureAuthority",
+    "build_notice_page",
+    "parse_notice_page",
+    "NoticeInfo",
+    "PaymentPolicy",
+    "PaymentInterventionTeam",
+    "TestPurchase",
+    "ProcessorTermination",
+]

@@ -1,0 +1,136 @@
+"""Payment-processing intervention.
+
+Section 4.3.2: the paper's purchases cleared through just three acquiring
+banks and concluded that "this concentration suggests payment processing is
+another viable area for interventions as in [24], but investigating such an
+intervention remains future work."  This module is that future work, built
+on the mechanism [24] (McCoy et al., *Priceless*) documented for pharma:
+brand holders make undercover test purchases, identify the acquiring
+bank/processor from the transaction BIN, and pressure the card networks to
+terminate the merchant accounts.
+
+Model: the intervention team makes periodic test purchases at stores seen
+in search results; once a processor accumulates enough confirmed
+counterfeit transactions, it is blacklisted — every store clearing through
+it stops completing sales until its campaign re-signs with a surviving
+processor (which takes days and can be repeated until processors run out).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.util.rng import RandomStreams
+from repro.util.simtime import SimDate
+
+
+@dataclass
+class PaymentPolicy:
+    """Knobs of the payment intervention."""
+
+    #: Day the program starts; None disables it.
+    start_day: Optional[SimDate] = None
+    #: Test purchases attempted per week across monitored stores.
+    test_purchases_per_week: int = 6
+    #: Confirmed counterfeit transactions before a processor is terminated.
+    termination_threshold: int = 8
+    #: Days between evidence reaching threshold and the network acting.
+    action_delay_days: int = 10
+
+
+@dataclass
+class TestPurchase:
+    """One undercover buy: store, processor, bank — the BIN evidence."""
+
+    day: SimDate
+    store_host: str
+    processor: str
+    bank: str
+
+
+@dataclass
+class ProcessorTermination:
+    processor: str
+    day: SimDate
+    evidence_count: int
+
+
+class PaymentInterventionTeam:
+    """Runs test purchases and terminates processors at the card network."""
+
+    def __init__(self, policy: PaymentPolicy, streams: RandomStreams):
+        self.policy = policy
+        self._rng = streams.child("payments-intervention").get("buys")
+        self.purchases: List[TestPurchase] = []
+        self.terminations: List[ProcessorTermination] = []
+        self._evidence: Dict[str, int] = {}
+        self._pending_action: Dict[str, SimDate] = {}
+
+    def on_day(self, world, day: SimDate) -> None:
+        if self.policy.start_day is None or day < self.policy.start_day:
+            return
+        self._make_test_purchases(world, day)
+        self._act_on_evidence(world, day)
+
+    # ------------------------------------------------------------------ #
+
+    def _make_test_purchases(self, world, day: SimDate) -> None:
+        weekday = day.to_date().weekday()
+        if weekday != 2:  # buy in a weekly batch, midweek
+            return
+        candidates = []
+        for store in world.stores():
+            host = store.host_on(day)
+            if host is None:
+                continue
+            domain = world.web.domains.get(host)
+            if domain is not None and domain.seized_as_of(day):
+                continue
+            candidates.append(store)
+        if not candidates:
+            return
+        count = min(self.policy.test_purchases_per_week, len(candidates))
+        for store in self._rng.sample(candidates, count):
+            processor = store.processor
+            self.purchases.append(
+                TestPurchase(
+                    day=day,
+                    store_host=store.host_on(day) or "",
+                    processor=processor.name,
+                    bank=processor.bank.name,
+                )
+            )
+            if world.payment_network.is_blacklisted(processor.name):
+                continue
+            self._evidence[processor.name] = self._evidence.get(processor.name, 0) + 1
+            if (
+                self._evidence[processor.name] >= self.policy.termination_threshold
+                and processor.name not in self._pending_action
+            ):
+                self._pending_action[processor.name] = day + self.policy.action_delay_days
+
+    def _act_on_evidence(self, world, day: SimDate) -> None:
+        due = [name for name, when in self._pending_action.items() if when <= day]
+        for name in due:
+            del self._pending_action[name]
+            if world.payment_network.is_blacklisted(name):
+                continue
+            world.payment_network.blacklist(name)
+            self.terminations.append(
+                ProcessorTermination(
+                    processor=name, day=day,
+                    evidence_count=self._evidence.get(name, 0),
+                )
+            )
+            world.events.record(
+                "processor_termination", day,
+                processor=name, evidence=self._evidence.get(name, 0),
+            )
+
+    # ------------------------------------------------------------------ #
+
+    def banks_observed(self) -> Set[str]:
+        """Distinct acquiring banks seen in test-purchase BINs (the paper
+        saw three)."""
+        return {p.bank for p in self.purchases}

@@ -1,0 +1,191 @@
+"""Search-engine-side interventions.
+
+Models the anti-abuse pipeline behind Google's two observable actions
+(Section 3.2.1): attaching the "hacked" warning label to compromised sites
+(root results only, by policy) and demoting or deindexing doorways.
+
+Labeling follows the paper's measurements: only a minority of doorways ever
+get labeled (2.5% of PSRs carried the label), and those that do are labeled
+13-32 days after they start appearing — so detection is modeled as a
+per-doorway coin flip at creation plus a lognormal delay, rather than a
+flat hazard that would label everything eventually.
+
+Scripted demotions reproduce campaign-level penalization events like the
+KEY campaign's collapse in mid-December 2013 (Section 5.2.1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.util.rng import RandomStreams
+from repro.util.simtime import SimDate
+from repro.search.serp import ResultLabel
+
+
+@dataclass(frozen=True)
+class ScriptedDemotion:
+    """A planned campaign-wide penalization."""
+
+    campaign: str
+    day: SimDate
+    amount: float = 2.5  # enough to push doorways out of the top 100
+    also_label: bool = True
+
+
+@dataclass
+class SearchOpsPolicy:
+    """Tunable knobs of the search-side intervention (ablation surface)."""
+
+    #: Probability a doorway host ever gets detected and labeled "hacked".
+    #: Detection keys off what Google can see ranking: doorways whose root
+    #: is itself cloaked get caught far more often than subpage-only ones.
+    label_fraction: float = 0.012
+    label_fraction_root_injected: float = 0.55
+    #: Lognormal delay (days) from doorway creation to labeling; the
+    #: defaults put the bulk of delays in the paper's 13-32 day window.
+    label_delay_median_days: float = 21.0
+    label_delay_sigma: float = 0.45
+    #: Ranking penalty applied alongside a label (mild: the paper observed
+    #: labeled results still ranking — labeling warns users, it does not
+    #: necessarily demote).
+    demote_on_label: float = 0.1
+    #: Daily probability a spammy host is independently demoted hard.
+    hard_demotion_hazard_per_day: float = 0.0012
+    hard_demotion_amount: float = 2.5
+    #: Whether labels apply to root results only (the paper's observed
+    #: policy; set False for the ablation of Section 5.2.2).
+    label_root_only: bool = True
+    #: Apply warnings as malware-style interstitials instead of the
+    #: clickable "hacked" subtitle — Section 3.2.1 flags this as a policy
+    #: choice, not a technical limit; GSB blocks the click, "hacked" merely
+    #: warns.  Ablation lever.
+    label_with_interstitial: bool = False
+
+
+@dataclass
+class LabelEvent:
+    host: str
+    day: SimDate
+    campaign: str
+
+
+@dataclass
+class _PendingLabel:
+    due: SimDate
+    host: str
+    campaign: str
+
+
+class SearchQualityTeam:
+    """Runs the daily detection sweep and executes scripted actions."""
+
+    def __init__(
+        self,
+        policy: SearchOpsPolicy,
+        streams: RandomStreams,
+        scripted: Optional[List[ScriptedDemotion]] = None,
+    ):
+        self.policy = policy
+        self._rng = streams.child("search-ops").get("sweep")
+        self.scripted = sorted(scripted or [], key=lambda s: s.day.ordinal)
+        self._scripted_done = 0
+        self._decided: set = set()
+        self._pending: List[_PendingLabel] = []
+        self._labeled: Dict[str, SimDate] = {}
+        self._demoted: Dict[str, SimDate] = {}
+        #: Campaigns under a standing penalty: once the team fingerprints a
+        #: campaign, newly appearing doorways are demoted on sight.
+        self._campaign_penalties: Dict[str, float] = {}
+        self.label_events: List[LabelEvent] = []
+
+    def on_day(self, world, day: SimDate) -> None:
+        engine = world.engine
+        engine.label_root_only = self.policy.label_root_only
+        self._run_scripted(world, day)
+        self._sweep(world, day)
+        self._apply_due_labels(world, day)
+
+    # ------------------------------------------------------------------ #
+
+    def _run_scripted(self, world, day: SimDate) -> None:
+        while self._scripted_done < len(self.scripted):
+            action = self.scripted[self._scripted_done]
+            if action.day > day:
+                break
+            self._scripted_done += 1
+            campaign = world.campaign_by_name(action.campaign)
+            if campaign is None:
+                continue
+            self._campaign_penalties[action.campaign] = action.amount
+            for doorway in campaign.doorways:
+                world.engine.demote_host(doorway.host, day, action.amount)
+                self._demoted.setdefault(doorway.host, day)
+                if action.also_label and doorway.host not in self._labeled:
+                    # Scripted actions label roughly half the fleet, as seen
+                    # for KEY ("labeling half of the remaining as hacked").
+                    if self._rng.random() < 0.5:
+                        self._label(world, doorway.host, day, campaign.name)
+            world.record_demotion(action.campaign, day, action.amount)
+
+    def _sweep(self, world, day: SimDate) -> None:
+        policy = self.policy
+        mu = math.log(policy.label_delay_median_days)
+        for campaign, doorway in world.active_doorways():
+            host = doorway.host
+            if doorway.created_on > day:
+                continue
+            standing = self._campaign_penalties.get(campaign.name)
+            if standing is not None and host not in self._demoted:
+                # The fingerprint follows the campaign: new doorways get
+                # demoted as soon as the sweep sees them.
+                world.engine.demote_host(host, day, standing)
+                self._demoted[host] = day
+            if host not in self._decided:
+                self._decided.add(host)
+                fraction = (
+                    policy.label_fraction_root_injected
+                    if getattr(doorway, "root_injected", False)
+                    else policy.label_fraction
+                )
+                if self._rng.random() < fraction:
+                    delay = self._rng.lognormvariate(mu, policy.label_delay_sigma)
+                    due = doorway.created_on + max(2, int(round(delay)))
+                    self._pending.append(
+                        _PendingLabel(due=due, host=host, campaign=campaign.name)
+                    )
+            if host not in self._demoted and self._rng.random() < policy.hard_demotion_hazard_per_day:
+                world.engine.demote_host(host, day, policy.hard_demotion_amount)
+                self._demoted[host] = day
+
+    def _apply_due_labels(self, world, day: SimDate) -> None:
+        still_pending: List[_PendingLabel] = []
+        for pending in self._pending:
+            if pending.due > day:
+                still_pending.append(pending)
+                continue
+            if pending.host not in self._labeled:
+                self._label(world, pending.host, day, pending.campaign)
+                if self.policy.demote_on_label > 0:
+                    world.engine.demote_host(pending.host, day, self.policy.demote_on_label)
+        self._pending = still_pending
+
+    def _label(self, world, host: str, day: SimDate, campaign_name: str) -> None:
+        label = (
+            ResultLabel.MALWARE
+            if self.policy.label_with_interstitial
+            else ResultLabel.HACKED
+        )
+        world.engine.label_host(host, day, label)
+        self._labeled[host] = day
+        self.label_events.append(LabelEvent(host=host, day=day, campaign=campaign_name))
+
+    # ------------------------------------------------------------------ #
+
+    def labeled_hosts(self) -> Dict[str, SimDate]:
+        return dict(self._labeled)
+
+    def label_day_of(self, host: str) -> Optional[SimDate]:
+        return self._labeled.get(host)

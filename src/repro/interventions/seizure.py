@@ -1,0 +1,257 @@
+"""Brand-holder domain seizures.
+
+Brand holders contract brand-protection firms (Greer Burns & Crain and
+SMGPA in the paper's data) who file periodic *bulk* court cases — hundreds
+of domains at a time, months apart for most brands, bi-weekly for a few
+aggressive ones (Section 5.3).  The asymmetries the paper highlights are
+all modeled: a legal lag between filing and execution, discovery limited to
+stores that have actually surfaced in search results, a minimum observed
+age before a store makes it into a filing, and seizures targeting the
+*storefront* domain (doorways are compromised third parties and carry
+liability, footnote 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.util.rng import RandomStreams
+from repro.util.simtime import SimDate
+from repro.web.domains import SeizureRecord
+from repro.interventions.notices import NoticeInfo, build_notice_page
+
+
+@dataclass
+class SeizurePolicy:
+    """Knobs of the seizure intervention (ablation surface)."""
+
+    #: Days between consecutive case filings for a given brand.
+    case_interval_days: int = 75
+    #: Per-brand cadence overrides (e.g., Uggs/Chanel bi-weekly, Oakley monthly).
+    brand_interval_overrides: Dict[str, int] = field(default_factory=dict)
+    #: Max *crawl-monitored* storefront domains listed per case.  Most of a
+    #: real case's Schedule A never intersects the measurement crawl (the
+    #: paper observed 290 of ~40,000 seized domains), so cases are padded
+    #: with external domains below.
+    batch_size: int = 40
+    #: Domains per case discovered through channels outside the monitored
+    #: verticals (test buys, marketplace sweeps, other TLD monitors).
+    external_domains_per_case: int = 0
+    #: Probability a brand actually files when its cadence comes due
+    #: (litigation budgets are finite).
+    enforcement_probability: float = 1.0
+    #: Days between filing a case and the seizure taking effect.
+    legal_delay_days: int = 14
+    #: A store must have been visible in SERPs at least this long before the
+    #: firm's investigators include it in a filing.
+    min_observed_age_days: int = 35
+    #: Fraction of seized sites that display a serving-notice page (the rest
+    #: are simply shut down).
+    notice_fraction: float = 0.92
+    #: Also seize *dedicated* doorway domains (footnote 6's alternative).
+    #: Compromised doorways stay off-limits — seizing an innocent third
+    #: party's domain carries liability.  Off by default, as in reality.
+    seize_dedicated_doorways: bool = False
+    #: Cap on doorway domains listed per case when the above is enabled.
+    doorways_per_case: int = 10
+
+
+@dataclass
+class CourtCase:
+    """One legal action seizing a batch of domains for one brand."""
+
+    case_id: str
+    firm: str
+    brand: str
+    filed_on: SimDate
+    executed_on: SimDate
+    domains: List[str]
+
+    def __post_init__(self):
+        if self.executed_on < self.filed_on:
+            raise ValueError("case executed before filing")
+        if not self.domains:
+            raise ValueError("a case must list at least one domain")
+
+
+class SeizureAuthority:
+    """Executes seizures against the domain registry and serves notices."""
+
+    def __init__(self, web):
+        self.web = web
+        self._notices: Dict[str, NoticeInfo] = {}
+        web.seizure_notice_builder = self._notice_builder
+
+    def execute(self, case: CourtCase, policy: SeizurePolicy, rng) -> List[str]:
+        """Seize every (still-unseized) domain in the case; returns the
+        domains actually seized."""
+        seized: List[str] = []
+        for name in case.domains:
+            domain = self.web.domains.get(name)
+            if domain is None or domain.is_seized:
+                continue
+            shows_notice = rng.random() < policy.notice_fraction
+            record = SeizureRecord(
+                day=case.executed_on,
+                case_id=case.case_id,
+                firm=case.firm,
+                brand=case.brand,
+                co_seized=list(case.domains),
+                shows_notice=shows_notice,
+            )
+            domain.seize(record)
+            if shows_notice:
+                self._notices[name] = NoticeInfo(
+                    case_id=case.case_id,
+                    firm=case.firm,
+                    brand=case.brand,
+                    domain=name,
+                    co_seized=list(case.domains),
+                )
+            seized.append(name)
+        return seized
+
+    def _notice_builder(self, host: str, day: SimDate):
+        from repro.web.fetch import PageResult
+
+        info = self._notices.get(host)
+        if info is None:
+            return PageResult(html="<html><body><h1>Seized</h1></body></html>")
+        return PageResult(html=build_notice_page(info))
+
+
+class BrandProtectionFirm:
+    """A GBC/SMGPA-style firm filing bulk seizure cases for client brands."""
+
+    def __init__(
+        self,
+        name: str,
+        clients: Sequence[str],
+        policy: SeizurePolicy,
+        streams: RandomStreams,
+        authority: SeizureAuthority,
+        docket_prefix: str = "14-cv",
+    ):
+        self.name = name
+        self.clients = list(clients)
+        self.policy = policy
+        self.authority = authority
+        self._streams = streams.child(f"firm:{name}")
+        self._rng = self._streams.get("cases")
+        self.docket_prefix = docket_prefix
+        self._case_counter = 0
+        self._next_filing: Dict[str, SimDate] = {}
+        self._pending: List[CourtCase] = []
+        self.docket: List[CourtCase] = []
+
+    def _interval_for(self, brand: str) -> int:
+        return self.policy.brand_interval_overrides.get(brand, self.policy.case_interval_days)
+
+    def on_day(self, world, day: SimDate) -> None:
+        self._file_cases(world, day)
+        self._execute_due(world, day)
+
+    def _file_cases(self, world, day: SimDate) -> None:
+        for brand in self.clients:
+            due = self._next_filing.get(brand)
+            if due is None:
+                # First filing lands part-way into the brand's first interval.
+                offset = self._rng.randint(10, max(11, self._interval_for(brand)))
+                self._next_filing[brand] = day + offset
+                continue
+            if day < due:
+                continue
+            self._next_filing[brand] = day + self._interval_for(brand)
+            if self._rng.random() > self.policy.enforcement_probability:
+                continue
+            targets = self._discover_targets(world, brand, day)
+            if not targets:
+                continue
+            targets = targets + self._discover_doorway_targets(world, brand, day)
+            targets = targets + self._external_targets(world, brand, day)
+            self._case_counter += 1
+            case = CourtCase(
+                case_id=f"{self.docket_prefix}-{self._case_counter:04d}-{self.name.lower()}",
+                firm=self.name,
+                brand=brand,
+                filed_on=day,
+                executed_on=day + self.policy.legal_delay_days,
+                domains=targets,
+            )
+            self._pending.append(case)
+
+    def _discover_targets(self, world, brand: str, day: SimDate) -> List[str]:
+        """Investigators pick storefront domains observed selling the brand
+        that have been visible long enough to document."""
+        candidates: List[str] = []
+        for sighting in world.store_sightings(brand):
+            if sighting.first_seen + self.policy.min_observed_age_days > day:
+                continue
+            domain = world.web.domains.get(sighting.host)
+            if domain is None or domain.is_seized:
+                continue
+            if any(sighting.host in case.domains for case in self._pending):
+                continue
+            candidates.append(sighting.host)
+        self._rng.shuffle(candidates)
+        return candidates[: self.policy.batch_size]
+
+    def _discover_doorway_targets(self, world, brand: str, day: SimDate) -> List[str]:
+        """Dedicated doorway domains promoting the brand's counterfeits
+        (only when the policy enables footnote 6's alternative)."""
+        if not self.policy.seize_dedicated_doorways:
+            return []
+        candidates: List[str] = []
+        for campaign, doorway in world.active_doorways():
+            if doorway.compromised:
+                continue  # innocent third party: liability
+            if doorway.created_on + self.policy.min_observed_age_days > day:
+                continue
+            store = world.landing_store_of(doorway.host)
+            if store is None or brand not in store.brands:
+                continue
+            domain = world.web.domains.get(doorway.host)
+            if domain is None or domain.is_seized:
+                continue
+            if any(doorway.host in case.domains for case in self._pending):
+                continue
+            candidates.append(doorway.host)
+        self._rng.shuffle(candidates)
+        return candidates[: self.policy.doorways_per_case]
+
+    def _external_targets(self, world, brand: str, day: SimDate) -> List[str]:
+        """Register and list domains found outside the monitored crawl.
+
+        These stand in for the bulk of a real Schedule A: counterfeit
+        storefronts the firm's own investigators found through channels our
+        measurement crawl does not cover.  They exist in the registry (so
+        the seizure is real) but never appear in monitored SERPs."""
+        count = self.policy.external_domains_per_case
+        if count <= 0:
+            return []
+        names: List[str] = []
+        for _ in range(count):
+            name = world.forge.store_domain(brand)
+            world.register_domain(name, day)
+            names.append(name)
+        return names
+
+    def _execute_due(self, world, day: SimDate) -> None:
+        still_pending: List[CourtCase] = []
+        for case in self._pending:
+            if case.executed_on > day:
+                still_pending.append(case)
+                continue
+            seized = self.authority.execute(case, self.policy, self._rng)
+            self.docket.append(case)
+            world.record_seizure_case(self, case, seized, day)
+        self._pending = still_pending
+
+    # ------------------------------------------------------------------ #
+
+    def total_domains_seized(self) -> int:
+        return sum(len(case.domains) for case in self.docket)
+
+    def cases_for_brand(self, brand: str) -> List[CourtCase]:
+        return [case for case in self.docket if case.brand == brand]

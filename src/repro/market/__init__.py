@@ -1,0 +1,33 @@
+"""The counterfeit-luxury market: brands, storefronts, payments, supply.
+
+Storefronts are the monetization endpoint of every SEO campaign.  Each store
+allocates order numbers independently and engages directly with payment
+processors (Section 3.1.2) — the two structural facts the purchase-pair
+estimator and the payment-intervention discussion rely on.
+"""
+
+from repro.market.brands import Brand, BrandCatalog, default_brand_catalog
+from repro.market.products import Product, generate_products
+from repro.market.payments import Bank, PaymentProcessor, default_payment_network
+from repro.market.stores import Store, DomainTenure
+from repro.market.traffic import AwstatsReport, GeoModel, VisitLog
+from repro.market.supplier import Supplier, ShipmentRecord, ShipmentStatus
+
+__all__ = [
+    "Brand",
+    "BrandCatalog",
+    "default_brand_catalog",
+    "Product",
+    "generate_products",
+    "Bank",
+    "PaymentProcessor",
+    "default_payment_network",
+    "Store",
+    "DomainTenure",
+    "AwstatsReport",
+    "GeoModel",
+    "VisitLog",
+    "Supplier",
+    "ShipmentRecord",
+    "ShipmentStatus",
+]

@@ -1,0 +1,125 @@
+"""Luxury brands and the catalog used by the paper-preset scenario.
+
+The paper monitors sixteen verticals (Table 1); composites (Golf,
+Sunglasses, Watches) bundle several brands.  Campaigns additionally abuse
+brands outside the monitored set (Table 2 shows campaigns spanning up to 30
+brands), so the catalog carries extras like Chanel and Hollister.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.util.ids import slugify
+
+
+@dataclass(frozen=True)
+class Brand:
+    """A trademark-holding luxury/lifestyle brand."""
+
+    name: str
+    category: str  # apparel, handbags, electronics, footwear, jewelry, ...
+    #: Typical genuine retail price, USD — drives knockoff pricing (intro:
+    #: a $2400 handbag knocks off at ~$250, produced for ~$20).
+    msrp: float
+    #: Whether the brand actively contracts brand-protection firms.
+    protective: bool = True
+
+    @property
+    def slug(self) -> str:
+        return slugify(self.name)
+
+
+class BrandCatalog:
+    """Registry of brands, addressable by name or slug."""
+
+    def __init__(self, brands: Optional[List[Brand]] = None):
+        self._by_slug: Dict[str, Brand] = {}
+        for brand in brands or []:
+            self.add(brand)
+
+    def add(self, brand: Brand) -> Brand:
+        if brand.slug in self._by_slug:
+            raise ValueError(f"duplicate brand {brand.name!r}")
+        self._by_slug[brand.slug] = brand
+        return brand
+
+    def get(self, name: str) -> Brand:
+        slug = slugify(name)
+        if slug not in self._by_slug:
+            raise KeyError(f"unknown brand {name!r}")
+        return self._by_slug[slug]
+
+    def __contains__(self, name: str) -> bool:
+        return slugify(name) in self._by_slug
+
+    def all(self) -> List[Brand]:
+        return sorted(self._by_slug.values(), key=lambda b: b.slug)
+
+    def __len__(self) -> int:
+        return len(self._by_slug)
+
+
+_DEFAULT_BRANDS = [
+    # Vertical-anchoring brands (Table 1).
+    Brand("Abercrombie", "apparel", 90.0),
+    Brand("Adidas", "footwear", 110.0),
+    Brand("Beats By Dre", "electronics", 300.0),
+    Brand("Clarisonic", "beauty", 150.0),
+    Brand("Ed Hardy", "apparel", 75.0),
+    Brand("Isabel Marant", "footwear", 620.0),
+    Brand("Louis Vuitton", "handbags", 2400.0),
+    Brand("Moncler", "apparel", 1200.0),
+    Brand("Nike", "footwear", 130.0),
+    Brand("Ralph Lauren", "apparel", 145.0),
+    Brand("Tiffany", "jewelry", 450.0),
+    Brand("Uggs", "footwear", 180.0),
+    Brand("Woolrich", "apparel", 350.0),
+    # Composite-vertical members.
+    Brand("TaylorMade", "golf", 400.0),
+    Brand("Callaway", "golf", 430.0),
+    Brand("Titleist", "golf", 380.0),
+    Brand("Oakley", "sunglasses", 160.0),
+    Brand("Ray-Ban", "sunglasses", 175.0),
+    Brand("Christian Dior", "sunglasses", 420.0),
+    Brand("Rolex", "watches", 8500.0),
+    Brand("Omega", "watches", 4800.0),
+    Brand("Breitling", "watches", 5200.0),
+    # Brands abused by campaigns beyond the monitored verticals.
+    Brand("Chanel", "handbags", 3100.0),
+    Brand("Christian Louboutin", "footwear", 700.0),
+    Brand("Hollister", "apparel", 60.0, protective=False),
+    Brand("The North Face", "apparel", 250.0),
+    Brand("Gucci", "handbags", 1900.0),
+    Brand("Prada", "handbags", 1700.0),
+    Brand("Michael Kors", "handbags", 350.0),
+    Brand("Canada Goose", "apparel", 900.0, protective=False),
+    Brand("Tory Burch", "footwear", 275.0, protective=False),
+    Brand("Hermes", "handbags", 9000.0),
+    Brand("Burberry", "apparel", 1500.0),
+    Brand("Juicy Couture", "apparel", 120.0, protective=False),
+    Brand("Timberland", "footwear", 190.0, protective=False),
+    Brand("New Balance", "footwear", 100.0, protective=False),
+    Brand("Supra", "footwear", 115.0, protective=False),
+    Brand("Karen Millen", "apparel", 310.0, protective=False),
+    Brand("Mulberry", "handbags", 1100.0, protective=False),
+    Brand("Celine", "handbags", 2600.0, protective=False),
+    Brand("Monster", "electronics", 250.0, protective=False),
+    Brand("Jimmy Choo", "footwear", 650.0, protective=False),
+    Brand("Belstaff", "apparel", 800.0, protective=False),
+    Brand("Barbour", "apparel", 420.0, protective=False),
+    Brand("Paul Smith", "apparel", 380.0, protective=False),
+    Brand("Lacoste", "apparel", 125.0, protective=False),
+    Brand("Longchamp", "handbags", 480.0, protective=False),
+    Brand("Miu Miu", "handbags", 1400.0, protective=False),
+    Brand("Fendi", "handbags", 2100.0, protective=False),
+    Brand("Givenchy", "handbags", 2200.0, protective=False),
+    Brand("Balenciaga", "handbags", 1800.0, protective=False),
+    Brand("Bottega Veneta", "handbags", 2500.0, protective=False),
+]
+
+
+def default_brand_catalog() -> BrandCatalog:
+    """The brand universe for the paper-preset scenario."""
+    return BrandCatalog(list(_DEFAULT_BRANDS))

@@ -1,0 +1,115 @@
+"""Payment processing.
+
+The paper's transactions (Section 4.3.2) cleared through just three
+acquiring banks — two in China, one in Korea — a concentration it flags as
+"another viable area for interventions".  We model a small processor layer
+(Realypay/Mallpayment-style gateways) in front of those banks; merchant
+identifiers leak into storefront HTML, which is how the paper confirmed that
+stores engage processors directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.util.rng import RandomStreams
+
+
+@dataclass(frozen=True)
+class Bank:
+    """An acquiring bank identified by BIN prefix."""
+
+    name: str
+    country: str
+    bin_prefix: str
+
+
+@dataclass
+class PaymentProcessor:
+    """A gateway that storefronts embed checkout forms for."""
+
+    name: str
+    bank: Bank
+    #: Cookie the gateway script drops on checkout pages — one of the store
+    #: -detection signals (Section 4.1.3).
+    cookie_name: str
+
+    def merchant_id(self, store_id: str) -> str:
+        """The merchant identifier exposed in storefront HTML source."""
+        return f"{self.name.upper()}-{abs(hash((self.name, store_id))) % 10**8:08d}"
+
+
+@dataclass
+class PaymentNetwork:
+    """The processor/bank universe plus assignment of stores to processors."""
+
+    banks: List[Bank]
+    processors: List[PaymentProcessor]
+    _assignments: Dict[str, PaymentProcessor] = field(default_factory=dict)
+    #: Processors terminated by a payment intervention (Section 4.3.2's
+    #: future work); stores clearing through them cannot complete sales.
+    _blacklisted: set = field(default_factory=set)
+
+    def assign(self, store_id: str, streams: RandomStreams) -> PaymentProcessor:
+        """Deterministically pick a processor for a store, heavily skewed so
+        transaction volume concentrates on few banks as observed."""
+        if store_id in self._assignments:
+            return self._assignments[store_id]
+        weights = [0.45, 0.30, 0.15, 0.06, 0.04][: len(self.processors)]
+        processor = streams.weighted_choice(f"payproc:{store_id}", self.processors, weights)
+        self._assignments[store_id] = processor
+        return processor
+
+    def processor_of(self, store_id: str) -> PaymentProcessor:
+        if store_id not in self._assignments:
+            raise KeyError(f"store {store_id!r} has no processor assigned")
+        return self._assignments[store_id]
+
+    def is_blacklisted(self, processor_name: str) -> bool:
+        return processor_name in self._blacklisted
+
+    def blacklist(self, processor_name: str) -> None:
+        if processor_name not in {p.name for p in self.processors}:
+            raise KeyError(f"unknown processor {processor_name!r}")
+        self._blacklisted.add(processor_name)
+
+    def blacklisted(self) -> List[str]:
+        return sorted(self._blacklisted)
+
+    def surviving_processors(self) -> List[PaymentProcessor]:
+        return [p for p in self.processors if p.name not in self._blacklisted]
+
+    def reassign(self, store_id: str, streams: RandomStreams) -> Optional[PaymentProcessor]:
+        """Move a store to a surviving processor; None when all are gone."""
+        survivors = self.surviving_processors()
+        if not survivors:
+            return None
+        rng = streams.get(f"payproc-resign:{store_id}")
+        processor = rng.choice(survivors)
+        self._assignments[store_id] = processor
+        return processor
+
+    def bank_distribution(self) -> Dict[str, int]:
+        """How many assigned stores clear through each bank."""
+        counts: Dict[str, int] = {}
+        for processor in self._assignments.values():
+            counts[processor.bank.name] = counts.get(processor.bank.name, 0) + 1
+        return counts
+
+
+def default_payment_network() -> PaymentNetwork:
+    """Two Chinese banks plus one Korean, as the paper's BINs showed."""
+    banks = [
+        Bank("Guangzhou Merchant Bank", "CN", "622575"),
+        Bank("Shenzhen Commerce Bank", "CN", "621483"),
+        Bank("Seoul Trade Bank", "KR", "625904"),
+    ]
+    processors = [
+        PaymentProcessor("Realypay", banks[0], "realypay_session"),
+        PaymentProcessor("Mallpayment", banks[1], "mallpayment_id"),
+        PaymentProcessor("EastPay", banks[0], "eastpay_token"),
+        PaymentProcessor("GoldGate", banks[2], "goldgate_sid"),
+        PaymentProcessor("SwiftAsia", banks[1], "swiftasia_ck"),
+    ]
+    return PaymentNetwork(banks=banks, processors=processors)

@@ -1,0 +1,73 @@
+"""Counterfeit product catalogs.
+
+Knockoff economics from the paper's introduction: an item retailing at
+$2400 sells as a counterfeit for ~$250 and costs ~$20 to produce.  We price
+counterfeits at roughly 8-15% of MSRP with a production cost near 8% of the
+counterfeit price.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.util.rng import RandomStreams
+from repro.market.brands import Brand
+
+_STYLE_WORDS = (
+    "Classic", "Monogram", "Signature", "Vintage", "Limited", "Sport",
+    "Premium", "Heritage", "Studio", "Pro", "Mini", "Grande",
+)
+_ITEM_WORDS_BY_CATEGORY = {
+    "handbags": ("Tote", "Satchel", "Clutch", "Shoulder Bag", "Wallet", "Purse"),
+    "apparel": ("Hoodie", "Polo", "Down Jacket", "Tee", "Parka", "Vest"),
+    "footwear": ("Sneaker", "Boot", "Slipper", "Trainer", "Sandal", "Pump"),
+    "electronics": ("Headphones", "Earbuds", "Speaker", "Studio Headset"),
+    "jewelry": ("Pendant", "Bracelet", "Ring", "Necklace", "Charm"),
+    "sunglasses": ("Aviator", "Wayfarer", "Polarized Shades", "Sport Frame"),
+    "watches": ("Chronograph", "Diver", "GMT", "Automatic"),
+    "golf": ("Driver", "Iron Set", "Putter", "Wedge"),
+    "beauty": ("Cleansing Brush", "Skin System", "Brush Head"),
+}
+
+
+@dataclass(frozen=True)
+class Product:
+    """One listing on a counterfeit storefront."""
+
+    sku: str
+    brand: str
+    title: str
+    msrp: float
+    price: float  # counterfeit asking price
+    cost: float  # production cost at the supplier
+
+    @property
+    def margin(self) -> float:
+        return self.price - self.cost
+
+
+def generate_products(brand: Brand, count: int, streams: RandomStreams) -> List[Product]:
+    """Deterministically generate a brand's counterfeit catalog."""
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    rng = streams.get(f"products:{brand.slug}")
+    items = _ITEM_WORDS_BY_CATEGORY.get(brand.category, ("Item",))
+    products: List[Product] = []
+    for i in range(count):
+        style = rng.choice(_STYLE_WORDS)
+        item = rng.choice(items)
+        price_fraction = rng.uniform(0.08, 0.15)
+        price = round(brand.msrp * price_fraction, 2)
+        cost = round(price * rng.uniform(0.06, 0.12), 2)
+        products.append(
+            Product(
+                sku=f"{brand.slug}-{i + 1:04d}",
+                brand=brand.name,
+                title=f"{brand.name} {style} {item}",
+                msrp=brand.msrp,
+                price=max(price, 9.99),
+                cost=max(cost, 1.50),
+            )
+        )
+    return products

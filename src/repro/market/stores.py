@@ -1,0 +1,202 @@
+"""Counterfeit storefronts.
+
+A :class:`Store` is a *business*, not a domain: when a brand holder seizes
+its domain, the campaign points doorways at a backup domain and the same
+store keeps selling (Section 5.3.2, Figure 5's coco*.com rotations).  The
+store therefore owns a domain-tenure history and a single monotonically
+increasing order-number counter that survives rotations — the property the
+purchase-pair technique measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.util.simtime import SimDate
+from repro.web.domains import Domain
+from repro.web.sites import Site, SiteKind
+from repro.market.payments import PaymentProcessor
+from repro.market.products import Product
+from repro.market.traffic import VisitLog
+
+
+@dataclass
+class DomainTenure:
+    """One span of a store living on one domain."""
+
+    domain: Domain
+    from_day: SimDate
+    to_day: Optional[SimDate] = None  # None = still current
+
+    def active_on(self, day: SimDate) -> bool:
+        if day < self.from_day:
+            return False
+        return self.to_day is None or day < self.to_day
+
+
+class Store:
+    """A storefront business run by one SEO campaign."""
+
+    def __init__(
+        self,
+        store_id: str,
+        campaign: str,
+        vertical: str,
+        brands: List[str],
+        products: List[Product],
+        processor: PaymentProcessor,
+        first_domain: Domain,
+        opened_on: SimDate,
+        locale: str = "us",
+        order_number_start: int = 1000,
+        platform: str = "zencart",
+        order_creation_rate: float = 0.012,
+        completion_rate: float = 0.6,
+        awstats_public: bool = False,
+    ):
+        if not brands:
+            raise ValueError("store needs at least one brand")
+        self.store_id = store_id
+        self.campaign = campaign
+        self.vertical = vertical
+        self.brands = list(brands)
+        self.products = list(products)
+        self.processor = processor
+        self.locale = locale
+        self.opened_on = opened_on
+        #: 'zencart' or 'magento' — surfaces as e-commerce cookies.
+        self.platform = platform
+        #: Fraction of visits that reach checkout and get an order number.
+        self.order_creation_rate = order_creation_rate
+        #: Fraction of created orders whose payment actually clears.
+        self.completion_rate = completion_rate
+        #: Whether the store left its AWStats analytics publicly readable
+        #: (the paper found 647 of 7,484 stores did, Section 4.4).
+        self.awstats_public = awstats_public
+        self._order_counter = order_number_start
+        self.visits = VisitLog()
+        self.tenures: List[DomainTenure] = [DomainTenure(first_domain, opened_on)]
+        #: Filled in by the owning campaign: builds this store's pages onto a
+        #: site when the store (re)locates to a domain.
+        self.page_factory: Optional[Callable[["Store", Site], None]] = None
+        #: Daily order-creation counts (ground truth for validation only).
+        self._daily_orders: Dict[int, int] = {}
+        #: Daily completed-sale counts (payments that actually cleared).
+        self._daily_completed: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Domains
+    # ------------------------------------------------------------------ #
+
+    @property
+    def current_tenure(self) -> DomainTenure:
+        return self.tenures[-1]
+
+    @property
+    def current_domain(self) -> Domain:
+        return self.current_tenure.domain
+
+    def host_on(self, day: SimDate) -> Optional[str]:
+        for tenure in self.tenures:
+            if tenure.active_on(day):
+                return tenure.domain.name
+        return None
+
+    def all_hosts(self) -> List[str]:
+        return [tenure.domain.name for tenure in self.tenures]
+
+    def rotate_domain(self, new_domain: Domain, day: SimDate) -> DomainTenure:
+        """Move the store to a new domain (proactively, or after a seizure)."""
+        current = self.current_tenure
+        if new_domain.name == current.domain.name:
+            raise ValueError(f"store {self.store_id} already on {new_domain.name}")
+        current.to_day = day
+        tenure = DomainTenure(new_domain, day)
+        self.tenures.append(tenure)
+        return tenure
+
+    def is_seized_on(self, day: SimDate) -> bool:
+        host_domain = self.current_domain
+        return host_domain.seized_as_of(day)
+
+    def conversion_ramp(self, day: SimDate, ramp_days: int = 14) -> float:
+        """Conversion discount after a domain rotation.
+
+        A store on a fresh domain converts below par for a couple of weeks
+        (returning customers lost, checkout trust rebuilt, payment
+        descriptors re-registered) — the mechanism behind the visible
+        order-rate dip after the paper's Figure 6 seizure."""
+        if len(self.tenures) < 2:
+            return 1.0
+        since = day - self.current_tenure.from_day
+        if since < 0:
+            return 1.0
+        if since >= ramp_days:
+            return 1.0
+        return 0.4 + 0.6 * since / ramp_days
+
+    # ------------------------------------------------------------------ #
+    # Orders
+    # ------------------------------------------------------------------ #
+
+    @property
+    def next_order_preview(self) -> int:
+        """The order number the *next* checkout would receive."""
+        return self._order_counter + 1
+
+    def allocate_order_number(self, day: SimDate) -> int:
+        """A visitor reached checkout: allocate the next order number.
+
+        Order numbers are handed out before payment clears, so the counter
+        upper-bounds completed sales (Section 4.3.1).
+        """
+        self._order_counter += 1
+        key = day.ordinal
+        self._daily_orders[key] = self._daily_orders.get(key, 0) + 1
+        return self._order_counter
+
+    def record_orders(self, day: SimDate, count: int) -> None:
+        """Bulk-record ``count`` customer orders created on ``day``."""
+        if count < 0:
+            raise ValueError("order count cannot be negative")
+        if count:
+            self._order_counter += count
+            key = day.ordinal
+            self._daily_orders[key] = self._daily_orders.get(key, 0) + count
+
+    def orders_created_on(self, day: SimDate) -> int:
+        """Ground truth daily order creations (validation only)."""
+        return self._daily_orders.get(day.ordinal, 0)
+
+    def total_orders_created(self) -> int:
+        return sum(self._daily_orders.values())
+
+    def record_completed_sales(self, day: SimDate, count: int) -> None:
+        """Bulk-record sales whose payment cleared on ``day``."""
+        if count < 0:
+            raise ValueError("sales count cannot be negative")
+        if count:
+            key = day.ordinal
+            self._daily_completed[key] = self._daily_completed.get(key, 0) + count
+
+    def total_sales_completed(self) -> int:
+        return sum(self._daily_completed.values())
+
+    # ------------------------------------------------------------------ #
+    # Hosting
+    # ------------------------------------------------------------------ #
+
+    def build_site(self, day: SimDate) -> Site:
+        """Materialize this store's pages on its current domain."""
+        if self.page_factory is None:
+            raise RuntimeError(f"store {self.store_id} has no page factory wired")
+        site = Site(self.current_domain, SiteKind.STOREFRONT, authority=0.05, created_on=day)
+        self.page_factory(self, site)
+        return site
+
+    def __repr__(self) -> str:
+        return (
+            f"Store({self.store_id!r}, campaign={self.campaign!r}, "
+            f"host={self.current_domain.name!r})"
+        )

@@ -1,0 +1,132 @@
+"""The fulfillment supplier.
+
+Section 4.5: the authors found a supplier partnering with MSVALIDATE whose
+site exposed a scrolling list of fulfilled orders and a bulk order-status
+lookup (20 at a time).  Scraping it yielded 279K shipment records over nine
+months: 256K delivered, 4K seized at the source (China), 15K seized at the
+destination, 1,319 returned; US/JP/AU plus Western Europe received 81%.
+
+We model the supplier as a service that turns partner-campaign orders into
+shipment records with that status/destination mix, and expose the same
+bulk-lookup interface the paper scraped.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.util.rng import RandomStreams
+from repro.util.simtime import SimDate
+
+
+class ShipmentStatus(enum.Enum):
+    DELIVERED = "delivered"
+    SEIZED_AT_SOURCE = "seized_at_source"  # customs, China side
+    SEIZED_AT_DESTINATION = "seized_at_destination"
+    RETURNED = "returned"  # delivered, then returned by the customer
+    IN_TRANSIT = "in_transit"
+
+#: Terminal status mix measured in Section 4.5 (delivered includes returns).
+_STATUS_WEIGHTS: Tuple[Tuple[ShipmentStatus, float], ...] = (
+    (ShipmentStatus.DELIVERED, 0.9271),
+    (ShipmentStatus.SEIZED_AT_SOURCE, 0.0145),
+    (ShipmentStatus.SEIZED_AT_DESTINATION, 0.0537),
+    (ShipmentStatus.RETURNED, 0.0047),
+)
+
+#: Destination mix: US 90K / JP 57K / AU 39K / W-EU 41K of 279K, rest spread.
+_DESTINATION_WEIGHTS: Tuple[Tuple[str, float], ...] = (
+    ("US", 0.3226), ("JP", 0.2043), ("AU", 0.1398),
+    ("GB", 0.0520), ("DE", 0.0430), ("FR", 0.0320), ("IT", 0.0200),
+    ("CA", 0.0380), ("KR", 0.0250), ("other", 0.1233),
+)
+
+
+@dataclass(frozen=True)
+class ShipmentRecord:
+    """One row of the supplier's order-tracking database."""
+
+    order_id: int
+    placed_on: SimDate
+    destination: str
+    status: ShipmentStatus
+    campaign: str
+    last_update: SimDate
+
+
+class Supplier:
+    """A drop-ship fulfillment house serving multiple SEO campaigns."""
+
+    def __init__(self, name: str, streams: RandomStreams, partner_campaigns: Sequence[str]):
+        self.name = name
+        self._streams = streams.child(f"supplier:{name}")
+        self.partner_campaigns = list(partner_campaigns)
+        self._records: Dict[int, ShipmentRecord] = {}
+        self._next_order_id = 700000
+
+    def fulfill_orders(self, campaign: str, day: SimDate, count: int) -> List[ShipmentRecord]:
+        """Accept ``count`` wholesale orders from a partner campaign."""
+        if campaign not in self.partner_campaigns:
+            raise ValueError(f"{campaign!r} is not a partner of supplier {self.name!r}")
+        if count < 0:
+            raise ValueError("count cannot be negative")
+        rng = self._streams.get("fulfillment")
+        statuses = [s for s, _ in _STATUS_WEIGHTS]
+        status_weights = [w for _, w in _STATUS_WEIGHTS]
+        destinations = [d for d, _ in _DESTINATION_WEIGHTS]
+        dest_weights = [w for _, w in _DESTINATION_WEIGHTS]
+        created: List[ShipmentRecord] = []
+        for _ in range(count):
+            self._next_order_id += 1
+            status = rng.choices(statuses, weights=status_weights, k=1)[0]
+            destination = rng.choices(destinations, weights=dest_weights, k=1)[0]
+            transit_days = rng.randint(6, 21)
+            record = ShipmentRecord(
+                order_id=self._next_order_id,
+                placed_on=day,
+                destination=destination,
+                status=status,
+                campaign=campaign,
+                last_update=day + transit_days,
+            )
+            self._records[record.order_id] = record
+            created.append(record)
+        return created
+
+    # -------------------------------------------------------------- #
+    # The scrapeable interface (what the paper's crawler used)
+    # -------------------------------------------------------------- #
+
+    def lookup(self, order_ids: Sequence[int]) -> List[Optional[ShipmentRecord]]:
+        """Bulk order-status lookup, max 20 ids per request as on the real
+        site; unknown ids return None slots."""
+        if len(order_ids) > 20:
+            raise ValueError("bulk lookup is limited to 20 orders per request")
+        return [self._records.get(oid) for oid in order_ids]
+
+    def scrape_all(self) -> List[ShipmentRecord]:
+        """Enumerate the full record set by walking the id space in blocks of
+        20, exactly as the measurement scrape did."""
+        if not self._records:
+            return []
+        low = min(self._records)
+        high = max(self._records)
+        found: List[ShipmentRecord] = []
+        for start in range(low, high + 1, 20):
+            ids = list(range(start, min(start + 20, high + 1)))
+            found.extend(r for r in self.lookup(ids) if r is not None)
+        return found
+
+    def record_count(self) -> int:
+        return len(self._records)
+
+    def summary(self) -> Dict[str, int]:
+        """Status and destination totals (Section 4.5's headline numbers)."""
+        out: Dict[str, int] = {"total": len(self._records)}
+        for record in self._records.values():
+            out[record.status.value] = out.get(record.status.value, 0) + 1
+            key = f"dest:{record.destination}"
+            out[key] = out.get(key, 0) + 1
+        return out

@@ -1,0 +1,160 @@
+"""Visit logging and AWStats-style reports.
+
+Some storefronts left their AWStats pages publicly readable; the paper
+periodically scraped them for 647 stores (Section 4.4) and used the data for
+the coco*.com conversion case study (Section 5.2.3).  :class:`VisitLog`
+records what a store's web server would log; :class:`AwstatsReport` is the
+aggregated view our crawler "scrapes".
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.util.rng import RandomStreams
+from repro.util.simtime import SimDate
+
+#: Fraction of visits that arrive with an intact HTTP referrer; the paper
+#: measured 60% for coco*.com (HTTPS->HTTP transitions etc. strip it).
+REFERRER_RETENTION = 0.60
+
+
+class GeoModel:
+    """Visitor-country mix, matching the supplier's shipping mix
+    (Section 4.5: US, Japan, Australia, Western Europe ~81% combined)."""
+
+    DEFAULT_MIX: Tuple[Tuple[str, float], ...] = (
+        ("US", 0.32), ("JP", 0.20), ("AU", 0.14), ("GB", 0.06), ("DE", 0.05),
+        ("FR", 0.04), ("IT", 0.03), ("CA", 0.04), ("KR", 0.03), ("other", 0.09),
+    )
+
+    def __init__(self, streams: RandomStreams, mix: Optional[Tuple[Tuple[str, float], ...]] = None):
+        self._streams = streams
+        self.mix = mix or self.DEFAULT_MIX
+        total = sum(w for _, w in self.mix)
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"geo mix weights sum to {total}, expected 1.0")
+
+    def sample_countries(self, name: str, count: int) -> Counter:
+        countries = [c for c, _ in self.mix]
+        weights = [w for _, w in self.mix]
+        rng = self._streams.get(f"geo:{name}")
+        return Counter(rng.choices(countries, weights=weights, k=count))
+
+
+@dataclass
+class DayTraffic:
+    """One day of a store's server log, aggregated."""
+
+    visits: int = 0
+    page_fetches: int = 0
+    referrers: Counter = field(default_factory=Counter)
+    countries: Counter = field(default_factory=Counter)
+    #: Which domain the store answered on that day (rotations show up here).
+    host: str = ""
+
+
+class VisitLog:
+    """Per-day traffic for one store."""
+
+    def __init__(self):
+        self._days: Dict[int, DayTraffic] = {}
+
+    def record(
+        self,
+        day: SimDate,
+        visits: int,
+        page_fetches: int,
+        host: str,
+        referrer_hosts: Optional[Counter] = None,
+        countries: Optional[Counter] = None,
+    ) -> None:
+        if visits < 0 or page_fetches < 0:
+            raise ValueError("negative traffic")
+        entry = self._days.setdefault(day.ordinal, DayTraffic(host=host))
+        entry.visits += visits
+        entry.page_fetches += page_fetches
+        entry.host = host
+        if referrer_hosts:
+            entry.referrers.update(referrer_hosts)
+        if countries:
+            entry.countries.update(countries)
+
+    def day(self, day: SimDate) -> Optional[DayTraffic]:
+        return self._days.get(day.ordinal)
+
+    def days(self) -> List[int]:
+        return sorted(self._days)
+
+    def total_visits(self) -> int:
+        return sum(t.visits for t in self._days.values())
+
+
+@dataclass
+class AwstatsReport:
+    """The publicly scrapeable analytics view for one store over a window."""
+
+    store_host: str
+    first_day: SimDate
+    last_day: SimDate
+    total_visits: int
+    total_page_fetches: int
+    visits_with_referrer: int
+    referrer_hosts: Counter
+    countries: Counter
+    daily_visits: Dict[int, int]
+    daily_fetches: Dict[int, int]
+
+    @property
+    def pages_per_visit(self) -> float:
+        if self.total_visits == 0:
+            return 0.0
+        return self.total_page_fetches / self.total_visits
+
+    @property
+    def referrer_fraction(self) -> float:
+        if self.total_visits == 0:
+            return 0.0
+        return self.visits_with_referrer / self.total_visits
+
+
+def awstats_for(
+    log: VisitLog, store_host: str, first_day: SimDate, last_day: SimDate
+) -> AwstatsReport:
+    """Aggregate a visit log into the AWStats view over [first, last]."""
+    if last_day < first_day:
+        raise ValueError("window reversed")
+    visits = 0
+    fetches = 0
+    with_ref = 0
+    referrers: Counter = Counter()
+    countries: Counter = Counter()
+    daily_visits: Dict[int, int] = {}
+    daily_fetches: Dict[int, int] = {}
+    for ordinal in log.days():
+        if not first_day.ordinal <= ordinal <= last_day.ordinal:
+            continue
+        entry = log.day(SimDate(ordinal))
+        assert entry is not None
+        visits += entry.visits
+        fetches += entry.page_fetches
+        referred = sum(entry.referrers.values())
+        with_ref += referred
+        referrers.update(entry.referrers)
+        countries.update(entry.countries)
+        daily_visits[ordinal] = entry.visits
+        daily_fetches[ordinal] = entry.page_fetches
+    return AwstatsReport(
+        store_host=store_host,
+        first_day=first_day,
+        last_day=last_day,
+        total_visits=visits,
+        total_page_fetches=fetches,
+        visits_with_referrer=with_ref,
+        referrer_hosts=referrers,
+        countries=countries,
+        daily_visits=daily_visits,
+        daily_fetches=daily_fetches,
+    )

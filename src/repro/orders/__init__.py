@@ -1,0 +1,18 @@
+"""Order-volume estimation via the purchase-pair technique (Section 4.3)."""
+
+from repro.orders.purchase_pair import (
+    TestOrderer,
+    OrderSample,
+    OrderVolumeSeries,
+    OrderPolicy,
+)
+from repro.orders.fakenames import FakeIdentity, FakeIdentityGenerator
+
+__all__ = [
+    "TestOrderer",
+    "OrderSample",
+    "OrderVolumeSeries",
+    "OrderPolicy",
+    "FakeIdentity",
+    "FakeIdentityGenerator",
+]

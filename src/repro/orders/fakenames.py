@@ -1,0 +1,95 @@
+"""Fictional customer identities for test orders.
+
+Section 4.3.1: "The order and customer information we provide are
+semantically consistent with real customers, but fictional and
+automatically generated" (the paper used fakenamegenerator.com).  Identity
+fields are internally consistent — the email derives from the name, the
+postal address matches the chosen country — and card numbers are
+Luhn-valid but drawn from a reserved test BIN so they can never collide
+with a real account.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.util.rng import RandomStreams
+
+_FIRST_NAMES = (
+    "Alice", "Brian", "Carla", "Derek", "Elena", "Frank", "Grace", "Henry",
+    "Irene", "Jonas", "Karen", "Liam", "Marta", "Nolan", "Olivia", "Peter",
+    "Quinn", "Rosa", "Simon", "Tara",
+)
+_LAST_NAMES = (
+    "Anderson", "Brooks", "Carver", "Dalton", "Ellis", "Foster", "Garner",
+    "Hobbs", "Ingram", "Jensen", "Keller", "Lawson", "Meyer", "Norris",
+    "Osborne", "Porter", "Quigley", "Rhodes", "Sutton", "Turner",
+)
+_STREETS = ("Maple St", "Oak Ave", "Cedar Ln", "Birch Rd", "Elm Dr", "Pine Ct")
+_CITIES_BY_COUNTRY = {
+    "US": ("Springfield", "Riverton", "Fairview", "Georgetown"),
+    "GB": ("Croydon", "Reading", "Luton", "Swindon"),
+    "DE": ("Bochum", "Kassel", "Erfurt", "Augsburg"),
+    "JP": ("Chiba", "Sakai", "Niigata", "Himeji"),
+    "AU": ("Geelong", "Cairns", "Ballarat", "Mackay"),
+}
+#: Reserved test BIN prefix — never a live card range.
+_TEST_BIN = "411111"
+
+
+def _luhn_check_digit(digits: str) -> str:
+    total = 0
+    for index, char in enumerate(reversed(digits)):
+        value = int(char)
+        if index % 2 == 0:  # positions counted from the check digit
+            value *= 2
+            if value > 9:
+                value -= 9
+        total += value
+    return str((10 - total % 10) % 10)
+
+
+@dataclass(frozen=True)
+class FakeIdentity:
+    """One internally consistent fictional customer."""
+
+    full_name: str
+    email: str
+    street: str
+    city: str
+    country: str
+    card_number: str
+
+    def luhn_valid(self) -> bool:
+        return _luhn_check_digit(self.card_number[:-1]) == self.card_number[-1]
+
+
+class FakeIdentityGenerator:
+    """Deterministic stream of fictional customers."""
+
+    def __init__(self, streams: RandomStreams):
+        self._rng = streams.child("fake-identities").get("gen")
+        self._issued = 0
+
+    def identity(self, country: str = "US") -> FakeIdentity:
+        rng = self._rng
+        first = rng.choice(_FIRST_NAMES)
+        last = rng.choice(_LAST_NAMES)
+        self._issued += 1
+        email = f"{first.lower()}.{last.lower()}{self._issued}@mailinator.test"
+        cities = _CITIES_BY_COUNTRY.get(country, _CITIES_BY_COUNTRY["US"])
+        body = _TEST_BIN + "".join(str(rng.randint(0, 9)) for _ in range(9))
+        card = body + _luhn_check_digit(body)
+        return FakeIdentity(
+            full_name=f"{first} {last}",
+            email=email,
+            street=f"{rng.randint(1, 9999)} {rng.choice(_STREETS)}",
+            city=rng.choice(cities),
+            country=country if country in _CITIES_BY_COUNTRY else "US",
+            card_number=card,
+        )
+
+    @property
+    def issued(self) -> int:
+        return self._issued

@@ -1,0 +1,33 @@
+"""CSV export of time series (for plotting outside the harness)."""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Mapping, Sequence
+
+from repro.util.simtime import SimDate
+
+
+def series_to_csv(series: Mapping[int, float], value_name: str = "value") -> str:
+    """Render a {day ordinal: value} series as 'date,<value_name>' CSV."""
+    out = io.StringIO()
+    out.write(f"date,{value_name}\n")
+    for ordinal in sorted(series):
+        out.write(f"{SimDate(ordinal).isoformat()},{series[ordinal]}\n")
+    return out.getvalue()
+
+
+def stacked_to_csv(
+    ordinals: Sequence[int], bands: Mapping[str, Sequence[float]]
+) -> str:
+    """Render aligned stacked bands as one CSV (Figure 2 export)."""
+    names = list(bands)
+    for name in names:
+        if len(bands[name]) != len(ordinals):
+            raise ValueError(f"band {name!r} length does not match ordinals")
+    out = io.StringIO()
+    out.write("date," + ",".join(names) + "\n")
+    for index, ordinal in enumerate(ordinals):
+        row = [f"{bands[name][index]:.6f}" for name in names]
+        out.write(f"{SimDate(ordinal).isoformat()}," + ",".join(row) + "\n")
+    return out.getvalue()

@@ -1,0 +1,57 @@
+"""Unicode sparklines (Figure 3's rendering)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+_BARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """Compress a series into a fixed-width unicode sparkline.
+
+    >>> sparkline([0, 1, 2, 3], width=4)
+    '▁▃▅█'
+    """
+    values = list(values)
+    if not values:
+        return ""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    # Downsample by averaging buckets.
+    if len(values) > width:
+        bucketed = []
+        for i in range(width):
+            lo = i * len(values) // width
+            hi = max(lo + 1, (i + 1) * len(values) // width)
+            bucket = values[lo:hi]
+            bucketed.append(sum(bucket) / len(bucket))
+        values = bucketed
+    low = min(values)
+    high = max(values)
+    span = high - low
+    if span <= 0:
+        return _BARS[0] * len(values)
+    chars = []
+    for value in values:
+        index = int((value - low) / span * (len(_BARS) - 1))
+        chars.append(_BARS[index])
+    return "".join(chars)
+
+
+def sparkline_row(
+    label: str, values: Sequence[float], width: int = 40, as_percent: bool = True
+) -> str:
+    """One Figure 3 line: 'label  min  <spark>  max'."""
+    values = list(values)
+    if not values:
+        return f"{label:<16} (no data)"
+    low = min(values)
+    high = max(values)
+    if as_percent:
+        low_text = f"{low * 100:5.2f}"
+        high_text = f"{high * 100:5.2f}"
+    else:
+        low_text = f"{low:8.2f}"
+        high_text = f"{high:8.2f}"
+    return f"{label:<16} {low_text} {sparkline(values, width)} {high_text}"

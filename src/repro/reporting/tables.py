@@ -1,0 +1,48 @@
+"""Monospace table rendering."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:,.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned text table.
+
+    >>> print(render_table(["a", "b"], [[1, 2]]))
+    a | b
+    --+--
+    1 | 2
+    """
+    formatted: List[List[str]] = [[_format_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in formatted:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip())
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in formatted:
+        cells = []
+        for index, cell in enumerate(row):
+            if cell and cell.replace(",", "").replace(".", "").replace("-", "").isdigit():
+                cells.append(cell.rjust(widths[index]))
+            else:
+                cells.append(cell.ljust(widths[index]))
+        lines.append(" | ".join(cells).rstrip())
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""Simulated search engine.
+
+Substitutes for live Google in the paper's methodology: it indexes the
+synthetic web, ranks candidates per term per day (authority + relevance +
+SEO signal − penalties + noise), serves top-k SERPs, and exposes the two
+search-side intervention levers the paper studies — result demotion and the
+root-only "hacked" warning label (Section 3.2.1).
+"""
+
+from repro.search.query import Vertical, QueryVolumeModel
+from repro.search.index import IndexedEntry, SearchIndex
+from repro.search.ranking import RankingModel
+from repro.search.serp import SearchResult, Serp, ResultLabel
+from repro.search.ctr import ClickModel
+from repro.search.engine import SearchEngine
+from repro.search.harvest import (
+    term_from_url,
+    harvest_terms_from_host,
+    harvest_terms_from_hosts,
+)
+
+__all__ = [
+    "Vertical",
+    "QueryVolumeModel",
+    "IndexedEntry",
+    "SearchIndex",
+    "RankingModel",
+    "SearchResult",
+    "Serp",
+    "ResultLabel",
+    "ClickModel",
+    "SearchEngine",
+    "term_from_url",
+    "harvest_terms_from_host",
+    "harvest_terms_from_hosts",
+]

@@ -1,0 +1,182 @@
+"""The search engine: SERP serving plus the search-side intervention levers.
+
+Interventions (Section 3.2.1):
+
+* **Demotion** — a per-host score penalty applied from a given day; strong
+  penalties push every page on the host out of the top 100.
+* **Deindexing** — full removal from the index.
+* **"Hacked" label** — attached only to the *root* result of a labeled host
+  by default (the policy limitation Section 5.2.2 quantifies); the
+  ``label_root_only`` flag exists so ablations can lift the restriction.
+* **Malware label** — interstitial, modeled as a near-zero click multiplier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.util.rng import RandomStreams
+from repro.util.simtime import SimDate
+from repro.search.index import SearchIndex, no_seo_signal
+from repro.search.ranking import NoiseSource, RankingModel
+from repro.search.serp import ResultLabel, SearchResult, Serp
+
+
+@dataclass
+class HostPenalty:
+    since: SimDate
+    amount: float
+
+
+@dataclass
+class HostLabel:
+    since: SimDate
+    label: ResultLabel
+
+
+class SearchEngine:
+    """Serves top-k organic results for (term, day) queries."""
+
+    def __init__(
+        self,
+        index: SearchIndex,
+        streams: RandomStreams,
+        ranking: Optional[RankingModel] = None,
+        serp_size: int = 100,
+        label_root_only: bool = True,
+        max_results_per_host: int = 2,
+    ):
+        self.index = index
+        self.ranking = ranking if ranking is not None else RankingModel()
+        self.serp_size = serp_size
+        self.label_root_only = label_root_only
+        #: Host-clustering cap, like Google's same-domain result limit.
+        self.max_results_per_host = max_results_per_host
+        self._noise = NoiseSource(streams, self.ranking.noise_sigma)
+        self._static_scores: Dict[int, float] = {}
+        self._penalties: Dict[str, HostPenalty] = {}
+        self._labels: Dict[str, HostLabel] = {}
+
+    # ------------------------------------------------------------------ #
+    # Intervention levers
+    # ------------------------------------------------------------------ #
+
+    def demote_host(self, host: str, day: SimDate, amount: float) -> None:
+        """Apply (or deepen) a ranking penalty on a host from ``day``."""
+        existing = self._penalties.get(host)
+        if existing is not None and existing.amount >= amount:
+            return
+        self._penalties[host] = HostPenalty(since=day, amount=amount)
+
+    def deindex_host(self, host: str) -> int:
+        self._penalties.pop(host, None)
+        return self.index.remove_host(host)
+
+    def label_host(self, host: str, day: SimDate, label: ResultLabel) -> None:
+        self._labels[host] = HostLabel(since=day, label=label)
+
+    def label_of(self, host: str, day: SimDate) -> ResultLabel:
+        state = self._labels.get(host)
+        if state is None or day < state.since:
+            return ResultLabel.NONE
+        return state.label
+
+    def labeled_hosts(self) -> Dict[str, HostLabel]:
+        return dict(self._labels)
+
+    def penalty_of(self, host: str, day: SimDate) -> float:
+        state = self._penalties.get(host)
+        if state is None or day < state.since:
+            return 0.0
+        return state.amount
+
+    # ------------------------------------------------------------------ #
+    # Query serving
+    # ------------------------------------------------------------------ #
+
+    def serp(self, term: str, day) -> Serp:
+        """Rank candidates and return the top ``serp_size`` results.
+
+        Hot path: the simulator calls this once per (term, day).  The
+        static score component (authority + relevance) is cached per entry;
+        the sentinel no-op SEO signal is skipped without a call.
+        """
+        day = SimDate(day)
+        rng = self._noise.fresh_rng(term, day)
+        gauss = rng.gauss
+        sigma = self.ranking.noise_sigma
+        w_seo = self.ranking.w_seo
+        static_cache = self._static_scores
+        w_auth = self.ranking.w_authority
+        w_rel = self.ranking.w_relevance
+        penalties = self._penalties
+        scored: List[Tuple[float, object]] = []
+        for entry in self.index.candidates(term):
+            indexed_on = entry.indexed_on
+            if indexed_on is not None and day < indexed_on:
+                continue
+            key = id(entry)
+            static = static_cache.get(key)
+            if static is None:
+                static = w_auth * entry.authority + w_rel * entry.relevance
+                static_cache[key] = static
+            score = static + gauss(0.0, sigma)
+            signal = entry.seo_signal
+            if signal is not no_seo_signal:
+                score += w_seo * signal(day)
+            penalty = penalties.get(entry.host)
+            if penalty is not None and penalty.since <= day:
+                score -= penalty.amount
+            scored.append((score, entry))
+        scored.sort(key=lambda pair: -pair[0])
+
+        results: List[SearchResult] = []
+        per_host: Dict[str, int] = {}
+        for score, entry in scored:
+            count = per_host.get(entry.host, 0)
+            if count >= self.max_results_per_host:
+                continue
+            per_host[entry.host] = count + 1
+            rank = len(results) + 1
+            results.append(
+                SearchResult(
+                    rank=rank,
+                    url=entry.url,
+                    host=entry.host,
+                    path=entry.path,
+                    label=self._result_label(entry.host, entry.path, day),
+                    score=score,
+                    entry=entry,
+                )
+            )
+            if rank >= self.serp_size:
+                break
+        return Serp(term=term, day=day, results=results)
+
+    def site_query(self, host: str, day) -> List[str]:
+        """'site:<host>' — every indexed URL on a host visible on ``day``.
+
+        The paper used these queries to collect all search results
+        originating from a doorway and extract its targeted keywords from
+        the URL paths (Section 4.1.1)."""
+        day = SimDate(day)
+        urls = []
+        seen = set()
+        for entry in self.index.entries_for_host(host):
+            if entry.indexed_on is not None and day < entry.indexed_on:
+                continue
+            if entry.url not in seen:
+                seen.add(entry.url)
+                urls.append(entry.url)
+        return sorted(urls)
+
+    def _result_label(self, host: str, path: str, day: SimDate) -> ResultLabel:
+        label = self.label_of(host, day)
+        if label is ResultLabel.NONE:
+            return label
+        if label is ResultLabel.HACKED and self.label_root_only and path not in ("", "/"):
+            # The policy gap of Section 5.2.2: only root results get the
+            # "hacked" subtitle, sub-page PSRs escape unlabeled.
+            return ResultLabel.NONE
+        return label

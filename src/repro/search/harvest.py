@@ -1,0 +1,59 @@
+"""Keyword harvesting from doorway URLs (Section 4.1.1, first method).
+
+For the 13 KEY verticals the paper built its term sets by finding KEY
+doorways, issuing ``site:doorway.com`` queries, and extracting the targeted
+search terms from the result URL paths (keyword-friendly URLs like
+``/cheap-beats-by-dre-7.html`` encode the term).  This module reproduces
+that harvesting step against the simulated engine.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Set
+
+from repro.util.simtime import SimDate
+from repro.web.urls import parse_url
+
+_SLUG_PATH_RE = re.compile(r"^/([a-z0-9-]+?)(?:-\d+)*\.html$")
+_KEY_QUERY_RE = re.compile(r"(?:^|&)key=([^&]+)")
+
+
+def term_from_url(url: str) -> str:
+    """Recover the targeted search term from a doorway URL.
+
+    Handles both slug paths (``/cheap-uggs-boots-12.html``) and the
+    ``?key=cheap+uggs+boots`` form the paper quotes.
+
+    >>> term_from_url("http://d.com/cheap-uggs-boots-12.html")
+    'cheap uggs boots'
+    >>> term_from_url("http://d.com/?key=cheap+beats+by+dre")
+    'cheap beats by dre'
+    """
+    parsed = parse_url(url)
+    match = _KEY_QUERY_RE.search(parsed.query)
+    if match:
+        return match.group(1).replace("+", " ").strip()
+    match = _SLUG_PATH_RE.match(parsed.path)
+    if match:
+        return match.group(1).replace("-", " ").strip()
+    return ""
+
+
+def harvest_terms_from_host(engine, host: str, day) -> List[str]:
+    """Extract the terms a doorway targets via a ``site:`` query."""
+    terms: Set[str] = set()
+    for url in engine.site_query(host, day):
+        term = term_from_url(url)
+        if term:
+            terms.add(term)
+    return sorted(terms)
+
+
+def harvest_terms_from_hosts(engine, hosts: Iterable[str], day) -> List[str]:
+    """Union of harvested terms across several doorways — the raw pool the
+    paper sampled its 100 representative terms from."""
+    terms: Set[str] = set()
+    for host in hosts:
+        terms.update(harvest_terms_from_host(engine, host, day))
+    return sorted(terms)

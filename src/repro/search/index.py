@@ -1,0 +1,105 @@
+"""The search index: per-term candidate sets.
+
+Each term maps to the entries eligible to rank for it.  An entry carries the
+engine-visible signals: the hosting site's authority, the page's topical
+relevance to the term, and the observed off-page SEO signal (backlink-farm
+strength).  The SEO signal is supplied by a callable so campaign effort
+schedules can vary it over time without daily index rewrites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.web.sites import Site
+
+#: Time-varying SEO signal: day -> strength in [0, inf).
+SeoSignal = Callable[[object], float]
+
+
+def no_seo_signal(day) -> float:
+    return 0.0
+
+
+@dataclass
+class IndexedEntry:
+    """One (page, term) candidate in the index."""
+
+    url: str
+    host: str
+    path: str
+    site: Site
+    relevance: float
+    seo_signal: SeoSignal = no_seo_signal
+    #: Day the entry entered the index; entries do not rank before this.
+    indexed_on: object = None
+    #: How much of the host's authority this page inherits.  Search engines
+    #: partially discount deep pages injected into hacked hosts, which is
+    #: why doorways interleave with (rather than dominate) legitimate
+    #: results.
+    authority_factor: float = 1.0
+
+    @property
+    def authority(self) -> float:
+        return self.site.authority * self.authority_factor
+
+    def __repr__(self) -> str:
+        return f"IndexedEntry({self.url!r}, rel={self.relevance:.2f})"
+
+
+class SearchIndex:
+    """Candidate sets per term, with deindexing support."""
+
+    def __init__(self):
+        self._by_term: Dict[str, List[IndexedEntry]] = {}
+        self._by_host: Dict[str, List[IndexedEntry]] = {}
+
+    def add(self, term: str, entry: IndexedEntry) -> IndexedEntry:
+        self._by_term.setdefault(term, []).append(entry)
+        self._by_host.setdefault(entry.host, []).append(entry)
+        return entry
+
+    def add_page(
+        self,
+        term: str,
+        site: Site,
+        path: str,
+        relevance: float,
+        seo_signal: SeoSignal = no_seo_signal,
+        indexed_on=None,
+        authority_factor: float = 1.0,
+    ) -> IndexedEntry:
+        entry = IndexedEntry(
+            url=site.url(path),
+            host=site.host,
+            path=path,
+            site=site,
+            relevance=relevance,
+            seo_signal=seo_signal,
+            indexed_on=indexed_on,
+            authority_factor=authority_factor,
+        )
+        return self.add(term, entry)
+
+    def candidates(self, term: str) -> List[IndexedEntry]:
+        return self._by_term.get(term, [])
+
+    def terms(self) -> List[str]:
+        return sorted(self._by_term)
+
+    def entries_for_host(self, host: str) -> List[IndexedEntry]:
+        return self._by_host.get(host, [])
+
+    def remove_host(self, host: str) -> int:
+        """Deindex every entry on a host (full removal from the index,
+        the stronger of the two search penalties).  Returns count removed."""
+        removed = self._by_host.pop(host, [])
+        if removed:
+            doomed = set(id(e) for e in removed)
+            for term, entries in self._by_term.items():
+                self._by_term[term] = [e for e in entries if id(e) not in doomed]
+        return len(removed)
+
+    def __len__(self) -> int:
+        return sum(len(entries) for entries in self._by_term.values())

@@ -1,0 +1,146 @@
+"""Verticals, search terms, and query volume.
+
+A *vertical* is the paper's unit of monitoring (Section 4.1.1): a set of
+search terms centered on one brand (e.g., "Louis Vuitton") or a composite
+category (e.g., "Sunglasses").  Terms are generated the way the paper's
+Google-Suggest method produced them: adjective + brand + product-noun
+combinations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.util.ids import slugify
+from repro.util.rng import RandomStreams
+
+#: Adjectives the paper lists for suggestion expansion (Section 4.1.1).
+TERM_ADJECTIVES = ("cheap", "new", "online", "outlet", "sale", "store", "discount", "replica")
+TERM_NOUNS = (
+    "bags", "handbags", "wallet", "shoes", "boots", "jacket", "outlet store",
+    "official", "sale 2014", "free shipping", "uk", "usa", "review", "price",
+)
+
+
+@dataclass
+class Vertical:
+    """A monitored market niche: name, constituent brands, search terms.
+
+    ``terms`` is what the measurement crawl monitors; ``universe`` is the
+    larger set of queries campaigns actually target (the paper's crawl
+    covered a subset of the term space, which is why its Section 4.1.1
+    bias check — re-crawling with an alternate term sample — was needed).
+    """
+
+    name: str
+    brands: List[str]
+    terms: List[str] = field(default_factory=list)
+    composite: bool = False
+    universe: List[str] = field(default_factory=list)
+
+    @property
+    def slug(self) -> str:
+        return slugify(self.name)
+
+    def __post_init__(self):
+        if not self.brands:
+            raise ValueError(f"vertical {self.name!r} needs at least one brand")
+        if len(self.terms) != len(set(self.terms)):
+            raise ValueError(f"vertical {self.name!r} has duplicate terms")
+        if not self.universe:
+            self.universe = list(self.terms)
+        missing = set(self.terms) - set(self.universe)
+        if missing:
+            raise ValueError(
+                f"vertical {self.name!r}: monitored terms missing from "
+                f"universe: {sorted(missing)[:3]}"
+            )
+
+    def unmonitored_terms(self) -> List[str]:
+        monitored = set(self.terms)
+        return [t for t in self.universe if t not in monitored]
+
+    def __hash__(self):
+        return hash(self.name)
+
+
+def generate_terms(
+    vertical_name: str, brands: Sequence[str], count: int, streams: RandomStreams
+) -> List[str]:
+    """Produce ``count`` unique search terms for a vertical.
+
+    Mirrors the suggestion-expansion recipe: "<adjective> <brand>",
+    "<brand> <noun>", and "<adjective> <brand> <noun>" combinations,
+    sampled without replacement.
+    """
+    rng = streams.get(f"terms:{slugify(vertical_name)}")
+    pool: List[str] = []
+    for brand in brands:
+        base = brand.lower()
+        pool.extend(f"{adj} {base}" for adj in TERM_ADJECTIVES)
+        pool.extend(f"{base} {noun}" for noun in TERM_NOUNS)
+        pool.extend(
+            f"{adj} {base} {noun}"
+            for adj, noun in itertools.product(TERM_ADJECTIVES, TERM_NOUNS)
+        )
+    # Dedupe while preserving order, then sample.
+    seen = set()
+    unique = []
+    for term in pool:
+        if term not in seen:
+            seen.add(term)
+            unique.append(term)
+    if count > len(unique):
+        raise ValueError(
+            f"vertical {vertical_name!r}: requested {count} terms, only {len(unique)} available"
+        )
+    return sorted(rng.sample(unique, count))
+
+
+def make_vertical(
+    name: str, brands: Sequence[str], term_count: int, streams: RandomStreams,
+    composite: bool = False, universe_factor: float = 2.0,
+) -> Vertical:
+    """Build a vertical: a term universe plus the monitored subset."""
+    if universe_factor < 1.0:
+        raise ValueError("universe_factor must be >= 1.0")
+    universe_count = max(term_count, round(term_count * universe_factor))
+    universe = generate_terms(name, brands, universe_count, streams)
+    rng = streams.get(f"monitored:{slugify(name)}")
+    terms = sorted(rng.sample(universe, term_count))
+    return Vertical(name=name, brands=list(brands), terms=terms,
+                    composite=composite, universe=universe)
+
+
+class QueryVolumeModel:
+    """Daily search volume per term.
+
+    Head terms ("cheap louis vuitton") get far more queries than tail terms;
+    we draw a per-term base volume from a Pareto-like distribution and apply
+    mild weekly seasonality (weekend shopping bump).
+    """
+
+    def __init__(self, streams: RandomStreams, base_min: float = 40.0, base_max: float = 4000.0,
+                 weekend_boost: float = 1.25):
+        self._streams = streams
+        self.base_min = base_min
+        self.base_max = base_max
+        self.weekend_boost = weekend_boost
+        self._base: Dict[str, float] = {}
+
+    def base_volume(self, term: str) -> float:
+        if term not in self._base:
+            rng = self._streams.get(f"qvol:{term}")
+            # Pareto tail clipped into [base_min, base_max].
+            draw = self.base_min * (rng.paretovariate(1.3))
+            self._base[term] = min(self.base_max, draw)
+        return self._base[term]
+
+    def volume(self, term: str, day) -> float:
+        base = self.base_volume(term)
+        weekday = day.to_date().weekday()
+        if weekday >= 5:
+            return base * self.weekend_boost
+        return base

@@ -1,0 +1,73 @@
+"""Ranking model.
+
+score = w_auth * authority + w_rel * relevance + w_seo * seo_signal(day)
+        - penalty(host, day) + noise
+
+Noise is drawn from a per-(term, day) RNG stream so any SERP is a pure
+deterministic function of engine state and the date — the simulator's daily
+traffic pass and the measurement crawler see byte-identical rankings.
+
+The model captures the two ways doorways outrank legitimate pages
+(Section 2): compromised sites *inherit the host's accrued authority*, and
+dedicated doorways buy rank with backlink-farm SEO signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.util.rng import RandomStreams
+from repro.search.index import IndexedEntry
+
+
+@dataclass
+class RankingModel:
+    """Weights and noise for the scoring function."""
+
+    w_authority: float = 1.0
+    w_relevance: float = 0.8
+    w_seo: float = 0.45
+    noise_sigma: float = 0.15
+
+    def score(
+        self,
+        entry: IndexedEntry,
+        day,
+        noise: float,
+        penalty: float = 0.0,
+    ) -> float:
+        base = (
+            self.w_authority * entry.authority
+            + self.w_relevance * entry.relevance
+            + self.w_seo * entry.seo_signal(day)
+        )
+        return base - penalty + noise
+
+
+class NoiseSource:
+    """Deterministic per-(term, day) ranking jitter.
+
+    A *fresh* RNG is derived for every (term, day) so serving the same SERP
+    twice yields byte-identical rankings — the property that lets the
+    traffic pass and the measurement crawler share results.
+    """
+
+    def __init__(self, streams: RandomStreams, sigma: float):
+        self._base_seed = streams.base_seed
+        self._path = streams.path + ("ranking-noise",)
+        self.sigma = sigma
+
+    def fresh_rng(self, term: str, day) -> "random.Random":
+        import random
+
+        from repro.util.rng import derive_seed
+
+        seed = derive_seed(self._base_seed, *self._path, f"{term}@{day.ordinal}")
+        return random.Random(seed)
+
+    def for_serp(self, term: str, day):
+        """Return a gauss() drawer freshly seeded by (term, day)."""
+        rng = self.fresh_rng(term, day)
+        sigma = self.sigma
+        return lambda: rng.gauss(0.0, sigma)

@@ -1,0 +1,63 @@
+"""Search-engine result pages."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.search.index import IndexedEntry
+
+
+class ResultLabel(enum.Enum):
+    """Warning labels a result can carry (Section 3.2.1)."""
+
+    NONE = "none"
+    #: "This site may be hacked" — clickable, no interstitial.
+    HACKED = "hacked"
+    #: "This site may harm your computer" — interstitial blocks the click.
+    MALWARE = "malware"
+
+
+@dataclass
+class SearchResult:
+    """One organic result on a SERP."""
+
+    rank: int  # 1-based
+    url: str
+    host: str
+    path: str
+    label: ResultLabel = ResultLabel.NONE
+    score: float = 0.0
+    entry: Optional[IndexedEntry] = None
+
+    @property
+    def in_top10(self) -> bool:
+        return self.rank <= 10
+
+
+@dataclass
+class Serp:
+    """The top-k results for a (term, day) query."""
+
+    term: str
+    day: object
+    results: List[SearchResult]
+
+    def top(self, k: int) -> List[SearchResult]:
+        return [r for r in self.results if r.rank <= k]
+
+    def result_at(self, rank: int) -> Optional[SearchResult]:
+        for result in self.results:
+            if result.rank == rank:
+                return result
+        return None
+
+    def hosts(self) -> List[str]:
+        return [r.host for r in self.results]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)

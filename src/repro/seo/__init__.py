@@ -1,0 +1,38 @@
+"""SEO campaigns: doorway fleets, cloaking kits, C&C, effort schedules.
+
+A campaign is the paper's unit of attribution (Section 4.2): one operation
+running hundreds-to-thousands of doorways that funnel search traffic into a
+concentrated set of storefronts, spanning multiple verticals and brands.
+"""
+
+from repro.seo.templates import TemplateTheme, ThemeFamily, THEME_FAMILIES
+from repro.seo.cloaking import (
+    CloakingType,
+    DoorwayPageContext,
+    RedirectCloakingKit,
+    IframeCloakingKit,
+    make_kit,
+)
+from repro.seo.schedule import EffortSchedule, Burst
+from repro.seo.cnc import CommandAndControl
+from repro.seo.linkfarm import LinkFarm
+from repro.seo.doorways import Doorway
+from repro.seo.campaign import Campaign, CampaignSpec
+
+__all__ = [
+    "TemplateTheme",
+    "ThemeFamily",
+    "THEME_FAMILIES",
+    "CloakingType",
+    "DoorwayPageContext",
+    "RedirectCloakingKit",
+    "IframeCloakingKit",
+    "make_kit",
+    "EffortSchedule",
+    "Burst",
+    "CommandAndControl",
+    "LinkFarm",
+    "Doorway",
+    "Campaign",
+    "CampaignSpec",
+]

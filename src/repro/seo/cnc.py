@@ -1,0 +1,58 @@
+"""Campaign command-and-control.
+
+Doorways do not hard-code their landing stores; they poll a C&C directory
+for the current redirect target per vertical.  This is what makes the
+post-seizure domain agility of Section 5.3.2 possible — the campaign flips
+one directory entry and every doorway immediately forwards to the backup
+domain.  (It is also what the paper's authors infiltrated to enumerate a
+campaign's storefronts, Section 3.1.2.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.util.simtime import SimDate
+
+
+@dataclass
+class DirectoryChange:
+    day: SimDate
+    vertical: str
+    url: str
+
+
+class CommandAndControl:
+    """Per-campaign directory: vertical -> current landing-store URL."""
+
+    def __init__(self, campaign: str, cnc_host: str):
+        self.campaign = campaign
+        self.cnc_host = cnc_host
+        self._current: Dict[str, str] = {}
+        self._history: List[DirectoryChange] = []
+
+    def set_landing(self, vertical: str, url: str, day: SimDate) -> None:
+        previous = self._current.get(vertical)
+        if previous == url:
+            return
+        self._current[vertical] = url
+        self._history.append(DirectoryChange(day=day, vertical=vertical, url=url))
+
+    def landing_url(self, vertical: str) -> Optional[str]:
+        return self._current.get(vertical)
+
+    def verticals(self) -> List[str]:
+        return sorted(self._current)
+
+    def history(self, vertical: Optional[str] = None) -> List[DirectoryChange]:
+        if vertical is None:
+            return list(self._history)
+        return [c for c in self._history if c.vertical == vertical]
+
+    def directory_snapshot(self) -> Dict[str, str]:
+        """What an infiltrator would read off the C&C."""
+        return dict(self._current)
+
+    def __repr__(self) -> str:
+        return f"CommandAndControl({self.campaign!r}, host={self.cnc_host!r})"

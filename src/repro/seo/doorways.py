@@ -1,0 +1,125 @@
+"""Doorway sites.
+
+A doorway is a site (usually a compromised legitimate one, sometimes a
+freshly registered throwaway) hosting cloaked pages that target a handful of
+a vertical's search terms at keyword-friendly paths like
+``/cheap-louis-vuitton-7.html``.  The root of a compromised site keeps
+serving the owner's original content — the behaviour that both hides the
+compromise from the owner and defeats Google's root-only "hacked" labeling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.util.ids import slugify
+from repro.util.rng import RandomStreams
+from repro.util.simtime import SimDate
+from repro.web.fetch import PageResult, VisitorProfile
+from repro.web.sites import DynamicPage, Site, SiteKind, StaticPage
+from repro.seo.cloaking import DoorwayPageContext
+from repro.seo.templates import TemplateTheme
+
+
+@dataclass
+class DoorwayPage:
+    """One cloaked page on a doorway, targeting one term."""
+
+    path: str
+    term: str
+    relevance: float
+    context: DoorwayPageContext
+
+
+class Doorway:
+    """A doorway working for one campaign in one vertical."""
+
+    def __init__(
+        self,
+        campaign: str,
+        vertical: str,
+        site: Site,
+        compromised: bool,
+        created_on: SimDate,
+        quality: float,
+    ):
+        self.campaign = campaign
+        self.vertical = vertical
+        self.site = site
+        self.compromised = compromised
+        self.created_on = created_on
+        #: Doorway-specific SEO effectiveness multiplier in (0, 1].
+        self.quality = quality
+        self.pages: List[DoorwayPage] = []
+        #: True when the compromised site's root page is itself cloaked.
+        self.root_injected = False
+
+    @property
+    def host(self) -> str:
+        return self.site.host
+
+    def __repr__(self) -> str:
+        return f"Doorway({self.host!r}, campaign={self.campaign!r}, pages={len(self.pages)})"
+
+
+def build_doorway(
+    campaign: str,
+    vertical: str,
+    terms: Sequence[str],
+    site: Site,
+    compromised: bool,
+    day: SimDate,
+    theme: TemplateTheme,
+    kit,
+    landing_url: Callable[[], Optional[str]],
+    streams: RandomStreams,
+) -> Doorway:
+    """Inject cloaked pages for the given terms onto a site.
+
+    For compromised sites the original root page is preserved; for dedicated
+    doorways a generic SEO root is installed too.
+    """
+    rng = streams.child(f"doorway:{site.host}").get("build")
+    quality = rng.uniform(0.4, 1.0)
+    doorway = Doorway(campaign, vertical, site, compromised, day, quality)
+    original_html: Optional[str] = None
+    if compromised:
+        site.kind = SiteKind.COMPROMISED
+        root = site.get_page("/")
+        if isinstance(root, StaticPage):
+            original_html = root.html
+    else:
+        if site.get_page("/") is None:
+            root_html = theme.doorway_seo_page(vertical.lower(), vertical, f"{site.host}:root")
+            site.add_page(StaticPage("/", html=root_html))
+
+    for term in terms:
+        suffix = rng.randint(1, 99)
+        path = f"/{slugify(term)}-{suffix}.html"
+        if site.get_page(path) is not None:
+            path = f"/{slugify(term)}-{suffix}-{rng.randint(100, 999)}.html"
+        seo_html = theme.doorway_seo_page(term, vertical, f"{site.host}{path}")
+        context = DoorwayPageContext(
+            campaign=campaign,
+            vertical=vertical,
+            term=term,
+            landing_url=landing_url,
+            seo_html=seo_html,
+            original_html=original_html,
+        )
+        responder = _make_responder(kit, context)
+        site.add_page(DynamicPage(path, responder))
+        # Keyword stuffing earns near-max on-page relevance.
+        relevance = rng.uniform(0.65, 0.95)
+        doorway.pages.append(
+            DoorwayPage(path=path, term=term, relevance=relevance, context=context)
+        )
+    return doorway
+
+
+def _make_responder(kit, context: DoorwayPageContext):
+    def respond(profile: VisitorProfile, day: SimDate) -> PageResult:
+        return kit.respond(context, profile, day)
+
+    return respond

@@ -1,0 +1,96 @@
+"""Backlink farms.
+
+Section 2: doorways "obtain high-ranking either by mimicking the structure
+of high reputation sites (typically by creating backlinks to each other) or
+by compromising existing sites and exploiting the positive reputation that
+they have accrued."  Compromised doorways inherit host authority; this
+module supplies the other mechanism — a campaign-operated link farm whose
+PageRank-style link equity gives *dedicated* doorways their standing with
+the search engine.
+
+The farm is a directed graph: a core of interlinked farm sites (expired
+domains, splogs, forum-profile links) pointing at the campaign's dedicated
+doorways.  The engine-visible authority of a dedicated doorway is its
+PageRank share of the farm, scaled — so bigger farms and better-connected
+doorways genuinely rank higher, and the farm's shape is an honest input
+rather than a drawn constant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import networkx as nx
+
+from repro.util.rng import RandomStreams
+
+#: PageRank share -> engine authority scaling.
+EQUITY_AUTHORITY_SCALE = 6.0
+AUTHORITY_FLOOR = 0.05
+AUTHORITY_CAP = 0.55
+
+
+class LinkFarm:
+    """One campaign's backlink network."""
+
+    def __init__(self, campaign: str, streams: RandomStreams, farm_size: int = 40):
+        if farm_size < 2:
+            raise ValueError("farm_size must be >= 2")
+        self.campaign = campaign
+        self._rng = streams.child(f"linkfarm:{campaign}").get("build")
+        self.graph: "nx.DiGraph" = nx.DiGraph()
+        self._doorway_hosts: List[str] = []
+        self._pagerank: Optional[Dict[str, float]] = None
+        for index in range(farm_size):
+            self.graph.add_node(f"farm:{index}", kind="farm")
+        # Farm core: sparse random interlinking (splogs cite each other).
+        nodes = [f"farm:{i}" for i in range(farm_size)]
+        for node in nodes:
+            for target in self._rng.sample(nodes, min(3, farm_size - 1)):
+                if target != node:
+                    self.graph.add_edge(node, target)
+
+    @property
+    def farm_size(self) -> int:
+        return sum(1 for _, kind in self.graph.nodes(data="kind") if kind == "farm")
+
+    def add_doorway(self, host: str, backlinks: Optional[int] = None) -> int:
+        """Point farm sites at a new dedicated doorway; returns the number
+        of backlinks created."""
+        if host in self._doorway_hosts:
+            raise ValueError(f"doorway {host!r} already in the farm")
+        farm_nodes = [n for n, k in self.graph.nodes(data="kind") if k == "farm"]
+        if backlinks is None:
+            backlinks = self._rng.randint(
+                max(2, len(farm_nodes) // 6), max(3, len(farm_nodes) // 2)
+            )
+        backlinks = min(backlinks, len(farm_nodes))
+        self.graph.add_node(host, kind="doorway")
+        for source in self._rng.sample(farm_nodes, backlinks):
+            self.graph.add_edge(source, host)
+        self._doorway_hosts.append(host)
+        self._pagerank = None  # invalidate
+        return backlinks
+
+    def _ranks(self) -> Dict[str, float]:
+        if self._pagerank is None:
+            self._pagerank = nx.pagerank(self.graph, alpha=0.85)
+        return self._pagerank
+
+    def link_equity(self, host: str) -> float:
+        """The doorway's PageRank share of the farm (0 if unknown)."""
+        return self._ranks().get(host, 0.0)
+
+    def authority_of(self, host: str) -> float:
+        """Engine-visible authority for a dedicated doorway."""
+        equity = self.link_equity(host)
+        authority = AUTHORITY_FLOOR + equity * EQUITY_AUTHORITY_SCALE
+        return min(AUTHORITY_CAP, authority)
+
+    def doorway_hosts(self) -> List[str]:
+        return list(self._doorway_hosts)
+
+    def backlink_count(self, host: str) -> int:
+        if host not in self.graph:
+            return 0
+        return self.graph.in_degree(host)

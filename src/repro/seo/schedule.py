@@ -1,0 +1,111 @@
+"""Campaign effort schedules.
+
+"The operators of the campaigns successfully SEO their doorways in
+concentrated time periods" (Section 5.1.2): campaigns run at peak for ~51
+days on average, with a long low-effort tail.  An :class:`EffortSchedule` is
+a piecewise-constant level over the study window built from one-to-three
+bursts on top of a background level; the level feeds the ranking model as
+the doorway's observed off-page SEO signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.util.rng import RandomStreams
+from repro.util.simtime import DateRange, SimDate
+
+
+@dataclass(frozen=True)
+class Burst:
+    """One concentrated SEO push."""
+
+    start: SimDate
+    duration_days: int
+    level: float
+
+    @property
+    def end(self) -> SimDate:
+        """Exclusive end day."""
+        return self.start + self.duration_days
+
+    def active_on(self, day: SimDate) -> bool:
+        return self.start <= day < self.end
+
+
+class EffortSchedule:
+    """Piecewise SEO effort level over time for one (campaign, vertical)."""
+
+    def __init__(self, bursts: Sequence[Burst], background: float = 0.08,
+                 shutdown_day: Optional[SimDate] = None):
+        self.bursts = sorted(bursts, key=lambda b: b.start.ordinal)
+        self.background = background
+        #: Campaigns sometimes stop SEO entirely (the KEY campaign's PSR
+        #: collapse in mid-December, Section 5.2.1).
+        self.shutdown_day = shutdown_day
+        self._cache: Dict[int, float] = {}
+
+    def level(self, day) -> float:
+        day = SimDate(day)
+        key = day.ordinal
+        if key not in self._cache:
+            self._cache[key] = self._compute(day)
+        return self._cache[key]
+
+    def _compute(self, day: SimDate) -> float:
+        if self.shutdown_day is not None and day >= self.shutdown_day:
+            return 0.0
+        best = self.background
+        for burst in self.bursts:
+            if burst.active_on(day):
+                best = max(best, burst.level)
+        return best
+
+    def peak_level(self) -> float:
+        if not self.bursts:
+            return self.background
+        return max(b.level for b in self.bursts)
+
+    def first_active_day(self) -> Optional[SimDate]:
+        return self.bursts[0].start if self.bursts else None
+
+    def shutdown(self, day: SimDate) -> None:
+        self.shutdown_day = day
+        self._cache.clear()
+
+
+def random_schedule(
+    streams: RandomStreams,
+    name: str,
+    window: DateRange,
+    peak_days_hint: int,
+    peak_level: float,
+    background: float = 0.08,
+    burst_count: Optional[int] = None,
+    main_start_offset: Optional[int] = None,
+) -> EffortSchedule:
+    """Generate a schedule whose main burst lasts roughly ``peak_days_hint``
+    days (Table 2's per-campaign peak durations seed this).
+
+    ``main_start_offset`` pins the main burst's start relative to the
+    window (e.g., 0 for campaigns already at full steam when the study
+    began, like KEY).
+    """
+    rng = streams.get(f"schedule:{name}")
+    n_bursts = burst_count if burst_count is not None else rng.choice((1, 1, 2, 2, 3))
+    total_days = len(window)
+    bursts: List[Burst] = []
+    main_duration = max(5, min(total_days, int(peak_days_hint * rng.uniform(0.85, 1.15))))
+    latest_start = max(0, total_days - main_duration - 1)
+    if main_start_offset is not None:
+        main_start = window.clip(window.start + main_start_offset)
+    else:
+        main_start = window.start + rng.randint(0, latest_start)
+    bursts.append(Burst(start=main_start, duration_days=main_duration, level=peak_level))
+    for _ in range(n_bursts - 1):
+        duration = max(5, int(main_duration * rng.uniform(0.3, 0.7)))
+        start = window.start + rng.randint(0, max(0, total_days - duration - 1))
+        level = peak_level * rng.uniform(0.5, 0.9)
+        bursts.append(Burst(start=start, duration_days=duration, level=level))
+    return EffortSchedule(bursts, background=background)

@@ -1,0 +1,245 @@
+"""Per-campaign HTML templates.
+
+Campaigns "develop in-house templates for the large-scale deployment of
+online storefronts (e.g., customized templates for Zen Cart or Magento
+providing a certain look and feel)" (Section 4.2.1).  That is the entire
+reason HTML bag-of-words features identify campaigns — so template realism
+matters here:
+
+* every theme shares generic e-commerce boilerplate (cart tables, checkout
+  buttons, platform cookies), keeping the classification problem non-trivial;
+* each theme family adds family-level markup (a handful of campaigns share a
+  family, producing the paper's confusable pairs);
+* each campaign adds its own telltales: class-name prefix, analytics
+  provider account, stylesheet path, generator meta, template comments.
+
+Pages also carry per-page randomness (product mix, filler text) so two pages
+from one store are similar, not identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.html.builder import PageBuilder
+from repro.html.nodes import Element, Text
+from repro.util.ids import slugify
+from repro.util.rng import RandomStreams
+
+#: Web-analytics providers seen on counterfeit stores (Section 4.2.3).
+ANALYTICS_PROVIDERS = ("51.la", "cnzz.com", "statcounter.com", "ajstat.com")
+
+#: E-commerce platforms whose cookies the store detector keys on.
+PLATFORM_COOKIES = {
+    "zencart": ("zenid", "zencart_session"),
+    "magento": ("frontend", "magento_cart"),
+}
+
+
+@dataclass(frozen=True)
+class ThemeFamily:
+    """A base template several campaigns customize (e.g., one widely-sold
+    Zen Cart skin)."""
+
+    family_id: str
+    platform: str  # 'zencart' | 'magento'
+    layout_class: str
+    nav_style: str  # 'topnav' | 'sidenav'
+    footer_text: str
+
+
+THEME_FAMILIES: Tuple[ThemeFamily, ...] = (
+    ThemeFamily("zc-classic", "zencart", "zc-main-wrapper", "topnav", "Powered by Zen Cart"),
+    ThemeFamily("zc-luxe", "zencart", "luxe-container", "sidenav", "Powered by Zen Cart"),
+    ThemeFamily("zc-outlet", "zencart", "outlet-grid", "topnav", "Zen Cart e-commerce"),
+    ThemeFamily("mg-lux", "magento", "mg-page-wrapper", "topnav", "Magento Commerce"),
+    ThemeFamily("mg-mall", "magento", "mall-columns", "sidenav", "Magento Commerce"),
+    ThemeFamily("mg-fashion", "magento", "fashion-frame", "topnav", "Magento Demo Store"),
+    ThemeFamily("zc-sport", "zencart", "sport-shell", "sidenav", "Powered by Zen Cart"),
+    ThemeFamily("mg-euro", "magento", "euro-layout", "topnav", "Magento Commerce"),
+    ThemeFamily("zc-jp", "zencart", "jp-base", "topnav", "Zen Cart e-commerce"),
+    ThemeFamily("mg-direct", "magento", "direct-root", "sidenav", "Magento Commerce"),
+)
+
+_FILLER_SENTENCES = (
+    "Free shipping worldwide on all orders over $99.",
+    "Top quality guaranteed with fast delivery to your door.",
+    "Shop the latest styles at unbeatable factory prices.",
+    "100% secure checkout and easy returns within 30 days.",
+    "New arrivals added every week, do not miss out.",
+    "Best price online, save up to 80% off retail today.",
+    "Trusted by thousands of happy customers worldwide.",
+    "Limited stock available, order now while supplies last.",
+)
+
+
+class TemplateTheme:
+    """One campaign's in-house template."""
+
+    def __init__(self, campaign_name: str, family: ThemeFamily, streams: RandomStreams):
+        self.campaign_name = campaign_name
+        self.family = family
+        self._streams = streams.child(f"theme:{slugify(campaign_name)}")
+        rng = self._streams.get("identity")
+        slug = slugify(campaign_name)
+        #: A fraction of campaigns deploy the stock family template with
+        #: almost no customization — these are the classifier's confusable
+        #: cases (the paper's accuracy was 86.8%, not 100%).
+        self.stock_template = rng.random() < 0.35
+        if self.stock_template:
+            self.class_prefix = f"{family.family_id}-std"
+            self.stylesheet_path = f"/includes/templates/{family.family_id}/css/style.css"
+            self.generator_tag = f"{family.platform}-stock"
+            self.template_comment = f"tpl:{family.family_id}:stock"
+        else:
+            self.class_prefix = f"{slug[:6]}{rng.randint(10, 99)}"
+            self.stylesheet_path = f"/includes/templates/{slug[:8]}/css/style{rng.randint(1, 4)}.css"
+            self.generator_tag = f"{self.family.platform}-{slug[:5]}-{rng.randint(1, 9)}"
+            self.template_comment = f"tpl:{slug[:10]}:{rng.randint(1000, 9999)}"
+        self.analytics_provider = rng.choice(ANALYTICS_PROVIDERS)
+        self.analytics_account = f"{rng.randint(100000, 999999)}"
+        #: Asian-language source comments (Section 3.1.2 footnote).
+        self.kit_comment = rng.choice(("zhuanqian kit v2", "waimao seo", "paiming tool", ""))
+
+    @property
+    def platform(self) -> str:
+        return self.family.platform
+
+    def platform_cookies(self) -> Tuple[str, ...]:
+        return PLATFORM_COOKIES[self.family.platform]
+
+    # ------------------------------------------------------------------ #
+    # Shared chrome
+    # ------------------------------------------------------------------ #
+
+    def _chrome(self, page: PageBuilder, title_text: str) -> Element:
+        """Family + campaign chrome; returns the main content element."""
+        page.meta("generator", self.generator_tag)
+        page.stylesheet(self.stylesheet_path)
+        page.stylesheet(f"/skin/{self.family.family_id}/base.css")
+        page.comment(self.template_comment)
+        if self.kit_comment:
+            page.comment(self.kit_comment)
+        wrapper = page.div(cls=f"{self.family.layout_class} {self.class_prefix}-shell")
+        header = wrapper.add("div", {"class": f"{self.class_prefix}-header"})
+        header.add("h1", {"class": "site-title"}, text=title_text)
+        nav = wrapper.add(
+            "ul", {"class": f"nav-{self.family.nav_style} {self.class_prefix}-nav"}
+        )
+        for label in ("Home", "New Arrivals", "Best Sellers", "Contact Us"):
+            item = nav.add("li", {"class": "nav-item"})
+            item.add("a", {"href": f"/{slugify(label)}.html"}, text=label)
+        main = wrapper.add("div", {"class": f"{self.class_prefix}-main content-area"})
+        footer = wrapper.add("div", {"class": "footer"})
+        footer.add("p", {"class": "footer-note"}, text=self.family.footer_text)
+        return main
+
+    def _analytics(self, page: PageBuilder) -> None:
+        page.script(
+            src=f"http://js.{self.analytics_provider}/stat.js?id={self.analytics_account}"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Storefront pages
+    # ------------------------------------------------------------------ #
+
+    def storefront_home(self, store, page_seed: str) -> str:
+        """The store's landing page: product grid, cart links, merchant id."""
+        rng = self._streams.get(f"store-page:{page_seed}")
+        brand = store.brands[0]
+        page = PageBuilder(title=f"{brand} Outlet Store - Official Online Shop")
+        main = self._chrome(page, f"{brand} Online Store")
+        main.add("p", {"class": "welcome"}, text=rng.choice(_FILLER_SENTENCES))
+        grid = main.add("div", {"class": f"{self.class_prefix}-grid product-grid"})
+        sample = min(len(store.products), rng.randint(6, 10))
+        for product in rng.sample(store.products, sample):
+            card = grid.add("div", {"class": "product-card"})
+            card.add("img", {"src": f"/images/{product.sku}.jpg", "alt": product.title})
+            card.add("a", {"href": f"/product/{product.sku}.html", "class": "product-link"},
+                     text=product.title)
+            card.add("span", {"class": "price"}, text=f"${product.price:.2f}")
+            card.add("a", {"href": f"/cart?add={product.sku}", "class": "btn-cart"},
+                     text="Add to Cart")
+        sidebar = main.add("div", {"class": "checkout-box"})
+        sidebar.add("a", {"href": "/checkout", "class": "btn-checkout"}, text="Checkout")
+        # Merchant identifier exposed in HTML source (Section 3.1.2).
+        main.add(
+            "div",
+            {"class": "payment-methods", "data-merchant": store.processor.merchant_id(store.store_id)},
+            text=f"We accept Visa / MasterCard via {store.processor.name}",
+        )
+        self._analytics(page)
+        return page.html()
+
+    def storefront_product(self, store, product, page_seed: str) -> str:
+        rng = self._streams.get(f"product-page:{page_seed}")
+        page = PageBuilder(title=f"{product.title} - ${product.price:.2f}")
+        main = self._chrome(page, product.title)
+        detail = main.add("div", {"class": f"{self.class_prefix}-detail product-detail"})
+        detail.add("img", {"src": f"/images/{product.sku}-large.jpg", "alt": product.title})
+        detail.add("span", {"class": "price"}, text=f"${product.price:.2f}")
+        detail.add("span", {"class": "msrp"}, text=f"Retail: ${product.msrp:.2f}")
+        detail.add("p", {"class": "description"}, text=rng.choice(_FILLER_SENTENCES))
+        detail.add("a", {"href": f"/cart?add={product.sku}", "class": "btn-cart"},
+                   text="Add to Cart")
+        self._analytics(page)
+        return page.html()
+
+    def storefront_checkout(self, store, order_number: Optional[int] = None) -> str:
+        """Checkout page; shows the allocated order number before payment —
+        the leak the purchase-pair technique reads."""
+        page = PageBuilder(title="Checkout - Secure Payment")
+        main = self._chrome(page, "Secure Checkout")
+        form = main.add("form", {"action": "/checkout/submit", "method": "post",
+                                 "class": f"{self.class_prefix}-checkout checkout-form"})
+        if order_number is not None:
+            form.add("div", {"class": "order-number", "id": "order-no"},
+                     text=f"Order Number: {order_number}")
+        for field_name in ("cardholder", "card_number", "expiry", "cvv"):
+            row = form.add("div", {"class": "form-row"})
+            row.add("label", {"for": field_name}, text=field_name.replace("_", " ").title())
+            row.add("input", {"type": "text", "name": field_name, "id": field_name})
+        form.add("input", {"type": "hidden", "name": "merchant",
+                           "value": store.processor.merchant_id(store.store_id)})
+        form.add("button", {"type": "submit", "class": "btn-pay"}, text="Pay Now")
+        self._analytics(page)
+        return page.html()
+
+    # ------------------------------------------------------------------ #
+    # Doorway SEO content
+    # ------------------------------------------------------------------ #
+
+    def doorway_seo_page(self, term: str, vertical_name: str, page_seed: str) -> str:
+        """Keyword-stuffed content served to search crawlers."""
+        rng = self._streams.get(f"doorway-page:{page_seed}")
+        page = PageBuilder(title=f"{term} | {vertical_name} official outlet")
+        page.meta("description", f"{term} - best {vertical_name} deals online")
+        page.meta("keywords", ", ".join([term, vertical_name.lower(), "outlet", "cheap", "sale"]))
+        page.comment(self.template_comment)
+        body_div = page.div(cls=f"{self.class_prefix}-seo seo-content")
+        for level in (1, 2, 3):
+            body_div.add(f"h{level}", text=f"{term} {rng.choice(('sale', 'outlet', 'online', 'store'))}")
+        for _ in range(rng.randint(4, 8)):
+            sentence = (
+                f"{term} {rng.choice(_FILLER_SENTENCES).lower()} "
+                f"Buy {vertical_name.lower()} {rng.choice(('now', 'today', 'online'))}."
+            )
+            body_div.add("p", {"class": "kw"}, text=sentence)
+        links = body_div.add("ul", {"class": "related-links"})
+        for _ in range(rng.randint(3, 6)):
+            links.add("li").add(
+                "a", {"href": f"/{slugify(term)}-{rng.randint(1, 99)}.html"}, text=term
+            )
+        return page.html()
+
+
+def assign_theme(
+    campaign_name: str, streams: RandomStreams, family: Optional[ThemeFamily] = None
+) -> TemplateTheme:
+    """Build a campaign's theme, picking a family deterministically when not
+    pinned by the scenario."""
+    if family is None:
+        rng = streams.child(f"theme:{slugify(campaign_name)}").get("family")
+        family = rng.choice(THEME_FAMILIES)
+    return TemplateTheme(campaign_name, family, streams)

@@ -1,0 +1,37 @@
+"""Shared utilities: simulation time, RNG discipline, ids, small statistics.
+
+The whole reproduction is deterministic.  Every stochastic component draws
+from a named :class:`RandomStreams` child so that adding a new consumer of
+randomness never perturbs unrelated components.
+"""
+
+from repro.util.simtime import SimDate, DateRange, STUDY_START, STUDY_END
+from repro.util.rng import RandomStreams, derive_seed
+from repro.util.ids import IdAllocator, slugify
+from repro.util.stats import (
+    mean,
+    median,
+    percentile,
+    clamp,
+    peak_range,
+    linear_interpolate,
+    cumulative_to_rates,
+)
+
+__all__ = [
+    "SimDate",
+    "DateRange",
+    "STUDY_START",
+    "STUDY_END",
+    "RandomStreams",
+    "derive_seed",
+    "IdAllocator",
+    "slugify",
+    "mean",
+    "median",
+    "percentile",
+    "clamp",
+    "peak_range",
+    "linear_interpolate",
+    "cumulative_to_rates",
+]

@@ -1,0 +1,55 @@
+"""Identifier allocation and name normalization."""
+
+from __future__ import annotations
+
+import re
+from typing import Dict
+
+_SLUG_RE = re.compile(r"[^a-z0-9]+")
+
+
+def slugify(text: str) -> str:
+    """Normalize a human name into a lowercase slug.
+
+    >>> slugify("Beats By Dre")
+    'beats-by-dre'
+    >>> slugify("PHP?P=")
+    'php-p'
+    """
+    slug = _SLUG_RE.sub("-", text.lower()).strip("-")
+    return slug or "x"
+
+
+class IdAllocator:
+    """Allocates monotonically increasing ids per namespace.
+
+    Used for order numbers, court case numbers, page ids, etc.  Namespaces
+    are independent so that e.g. each storefront has its own order counter
+    (the property the purchase-pair technique exploits, paper Section 4.3.1).
+    """
+
+    def __init__(self):
+        self._counters: Dict[str, int] = {}
+
+    def seed(self, namespace: str, start: int) -> None:
+        """Initialize a namespace at a given starting value (idempotent for
+        an untouched namespace; refuses to rewind an active one)."""
+        current = self._counters.get(namespace)
+        if current is not None and start < current:
+            raise ValueError(
+                f"namespace {namespace!r} already at {current}, cannot seed to {start}"
+            )
+        self._counters[namespace] = start
+
+    def next(self, namespace: str) -> int:
+        """Allocate the next id in the namespace (first id is 1 unless seeded)."""
+        value = self._counters.get(namespace, 0) + 1
+        self._counters[namespace] = value
+        return value
+
+    def peek(self, namespace: str) -> int:
+        """Return the most recently allocated id without allocating."""
+        return self._counters.get(namespace, 0)
+
+    def namespaces(self):
+        return sorted(self._counters)

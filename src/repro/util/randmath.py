@@ -1,0 +1,52 @@
+"""Small random-variate helpers built on ``random.Random``.
+
+Kept dependency-free and exact enough for simulation use; both helpers are
+deterministic given the stream.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+
+def binomial(rng: random.Random, n: int, p: float) -> int:
+    """Binomial(n, p) draw.
+
+    Exact Bernoulli summation for small n; Gaussian approximation (rounded,
+    clamped) for large n where it is statistically indistinguishable for
+    our purposes.
+    """
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be in [0, 1]")
+    if n == 0 or p == 0.0:
+        return 0
+    if p == 1.0:
+        return n
+    if n <= 64:
+        return sum(1 for _ in range(n) if rng.random() < p)
+    mean = n * p
+    sigma = math.sqrt(n * p * (1.0 - p))
+    draw = int(round(rng.gauss(mean, sigma)))
+    return max(0, min(n, draw))
+
+
+def poisson(rng: random.Random, lam: float) -> int:
+    """Poisson(lam) draw: Knuth's method for small lambda, Gaussian
+    approximation for large."""
+    if lam < 0:
+        raise ValueError("lam must be >= 0")
+    if lam == 0:
+        return 0
+    if lam < 30.0:
+        threshold = math.exp(-lam)
+        count = 0
+        product = rng.random()
+        while product > threshold:
+            count += 1
+            product *= rng.random()
+        return count
+    draw = int(round(rng.gauss(lam, math.sqrt(lam))))
+    return max(0, draw)

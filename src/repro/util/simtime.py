@@ -1,0 +1,153 @@
+"""Simulation calendar.
+
+The paper's crawl spans 2013-11-13 through 2014-07-15 (245 days inclusive).
+We model time as whole days.  :class:`SimDate` is a thin immutable wrapper
+around a day ordinal so date arithmetic is cheap inside the simulator's hot
+loops, while still printing as a human-readable ISO date.
+"""
+
+from __future__ import annotations
+
+import datetime
+import functools
+from typing import Iterator
+
+
+@functools.total_ordering
+class SimDate:
+    """A calendar day, represented as an ordinal; immutable and hashable."""
+
+    __slots__ = ("_ordinal",)
+
+    def __init__(self, value):
+        """Accept an ISO string ('2013-11-13'), a datetime.date, an ordinal
+        int, or another SimDate."""
+        if isinstance(value, SimDate):
+            self._ordinal = value._ordinal
+        elif isinstance(value, int):
+            self._ordinal = value
+        elif isinstance(value, datetime.date):
+            self._ordinal = value.toordinal()
+        elif isinstance(value, str):
+            self._ordinal = datetime.date.fromisoformat(value).toordinal()
+        else:
+            raise TypeError(f"cannot build SimDate from {type(value).__name__}")
+
+    @property
+    def ordinal(self) -> int:
+        return self._ordinal
+
+    def to_date(self) -> datetime.date:
+        return datetime.date.fromordinal(self._ordinal)
+
+    def isoformat(self) -> str:
+        return self.to_date().isoformat()
+
+    @property
+    def year(self) -> int:
+        return self.to_date().year
+
+    @property
+    def month(self) -> int:
+        return self.to_date().month
+
+    @property
+    def day(self) -> int:
+        return self.to_date().day
+
+    def __add__(self, days: int) -> "SimDate":
+        if not isinstance(days, int):
+            return NotImplemented
+        return SimDate(self._ordinal + days)
+
+    def __radd__(self, days: int) -> "SimDate":
+        return self.__add__(days)
+
+    def __sub__(self, other):
+        """SimDate - SimDate -> int days; SimDate - int -> SimDate."""
+        if isinstance(other, SimDate):
+            return self._ordinal - other._ordinal
+        if isinstance(other, int):
+            return SimDate(self._ordinal - other)
+        return NotImplemented
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, SimDate):
+            return self._ordinal == other._ordinal
+        return NotImplemented
+
+    def __lt__(self, other) -> bool:
+        if isinstance(other, SimDate):
+            return self._ordinal < other._ordinal
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("SimDate", self._ordinal))
+
+    def __repr__(self) -> str:
+        return f"SimDate({self.isoformat()!r})"
+
+    def __str__(self) -> str:
+        return self.isoformat()
+
+
+class DateRange:
+    """Inclusive range of days, iterable with an optional stride."""
+
+    __slots__ = ("start", "end")
+
+    def __init__(self, start, end):
+        self.start = SimDate(start)
+        self.end = SimDate(end)
+        if self.end < self.start:
+            raise ValueError(f"end {self.end} precedes start {self.start}")
+
+    def __len__(self) -> int:
+        return self.end - self.start + 1
+
+    def __contains__(self, day) -> bool:
+        day = SimDate(day)
+        return self.start <= day <= self.end
+
+    def __iter__(self) -> Iterator[SimDate]:
+        return self.days()
+
+    def days(self, stride: int = 1) -> Iterator[SimDate]:
+        if stride < 1:
+            raise ValueError("stride must be >= 1")
+        current = self.start
+        while current <= self.end:
+            yield current
+            current = current + stride
+
+    def clip(self, day) -> SimDate:
+        """Clamp a day into the range."""
+        day = SimDate(day)
+        if day < self.start:
+            return self.start
+        if day > self.end:
+            return self.end
+        return day
+
+    def offset_of(self, day) -> int:
+        """Zero-based index of a day within the range."""
+        day = SimDate(day)
+        if day not in self:
+            raise ValueError(f"{day} outside {self}")
+        return day - self.start
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, DateRange):
+            return self.start == other.start and self.end == other.end
+        return NotImplemented
+
+    def __hash__(self):
+        return hash((self.start, self.end))
+
+    def __repr__(self) -> str:
+        return f"DateRange({self.start.isoformat()!r}, {self.end.isoformat()!r})"
+
+
+#: The paper's crawl window (Section 4.1): Nov 13, 2013 -- Jul 15, 2014.
+STUDY_START = SimDate("2013-11-13")
+STUDY_END = SimDate("2014-07-15")

@@ -1,0 +1,132 @@
+"""Small statistics helpers used across the analysis code.
+
+These are deliberately dependency-light; numpy is reserved for the
+classifier's linear algebra.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+def mean(values: Sequence[float]) -> float:
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def median(values: Sequence[float]) -> float:
+    return percentile(values, 50.0)
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Linear-interpolated percentile, pct in [0, 100]."""
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"pct must be in [0, 100], got {pct}")
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = pct / 100.0 * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    frac = rank - low
+    value = ordered[low] * (1.0 - frac) + ordered[high] * frac
+    # Interpolation can drift one ulp outside the sample range; clamp.
+    return max(ordered[0], min(ordered[-1], value))
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    if low > high:
+        raise ValueError(f"empty clamp interval [{low}, {high}]")
+    return max(low, min(high, value))
+
+
+def peak_range(daily_counts: Sequence[float], fraction: float = 0.6) -> Tuple[int, int]:
+    """Shortest contiguous index span containing >= ``fraction`` of the total.
+
+    This is the paper's "peak range" metric (Section 5.1.2): the shortest
+    contiguous time span that includes 60% or more of all PSRs from a
+    campaign.  Returns (start_index, end_index) inclusive.  A two-pointer
+    sweep over the prefix sums finds the optimum in O(n).
+    """
+    counts = list(daily_counts)
+    total = sum(counts)
+    if total <= 0:
+        raise ValueError("peak_range needs a positive total")
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    target = total * fraction
+    best = (0, len(counts) - 1)
+    best_len = len(counts)
+    window = 0.0
+    left = 0
+    for right, value in enumerate(counts):
+        window += value
+        while window - counts[left] >= target and left < right:
+            window -= counts[left]
+            left += 1
+        if window >= target and (right - left + 1) < best_len:
+            best = (left, right)
+            best_len = right - left + 1
+    return best
+
+
+def linear_interpolate(
+    samples: Sequence[Tuple[int, float]], positions: Sequence[int]
+) -> List[float]:
+    """Piecewise-linear interpolation of (x, y) samples at integer positions.
+
+    Positions outside the sampled span are clamped to the boundary values
+    (the paper interpolates order-number samples only between observations;
+    we hold endpoints flat rather than extrapolate).
+    """
+    pts = sorted(samples)
+    if not pts:
+        raise ValueError("no samples to interpolate")
+    xs = [p[0] for p in pts]
+    if len(set(xs)) != len(xs):
+        raise ValueError("duplicate x positions in samples")
+    out: List[float] = []
+    for pos in positions:
+        if pos <= xs[0]:
+            out.append(pts[0][1])
+            continue
+        if pos >= xs[-1]:
+            out.append(pts[-1][1])
+            continue
+        # Find the bracketing segment by linear scan from the right edge of
+        # the last hit; positions are typically sorted, so this is cheap.
+        for i in range(1, len(pts)):
+            if pos <= xs[i]:
+                x0, y0 = pts[i - 1]
+                x1, y1 = pts[i]
+                frac = (pos - x0) / (x1 - x0)
+                out.append(y0 + frac * (y1 - y0))
+                break
+    return out
+
+
+def cumulative_to_rates(samples: Sequence[Tuple[int, float]]) -> Dict[int, float]:
+    """Convert cumulative (day, counter) samples into a per-day rate map.
+
+    This is the purchase-pair estimator's core: the difference between two
+    order numbers divided by the days between the observations, attributed
+    uniformly to each day in the gap.  Non-monotonic samples raise, because
+    order numbers are monotonically increasing by construction.
+    """
+    pts = sorted(samples)
+    if len(pts) < 2:
+        return {}
+    rates: Dict[int, float] = {}
+    for (x0, y0), (x1, y1) in zip(pts, pts[1:]):
+        if x1 == x0:
+            raise ValueError("duplicate sample day")
+        if y1 < y0:
+            raise ValueError(f"counter decreased between day {x0} and {x1}")
+        rate = (y1 - y0) / (x1 - x0)
+        for day in range(x0, x1):
+            rates[day] = rate
+    return rates

@@ -1,0 +1,37 @@
+"""Web substrate: domains, sites, pages, and HTTP-like fetch semantics.
+
+This models just enough of the web for the paper's measurement pipeline:
+URLs resolve through a registry of sites; fetches carry a visitor profile
+(browser vs. search-engine crawler, rendering vs. not, search referrer or
+direct) because cloaking decisions key off exactly those signals; seized
+domains intercept every fetch with a seizure-notice page.
+"""
+
+from repro.web.urls import Url, parse_url
+from repro.web.domains import Domain, DomainRegistry, SeizureRecord
+from repro.web.fetch import VisitorProfile, Response, USER, SEARCH_USER, CRAWLER, RENDERING_CRAWLER
+from repro.web.sites import Site, SiteKind, Page, StaticPage
+from repro.web.hosting import Web, FetchError
+from repro.web.render import render_document, execute_script
+
+__all__ = [
+    "Url",
+    "parse_url",
+    "Domain",
+    "DomainRegistry",
+    "SeizureRecord",
+    "VisitorProfile",
+    "Response",
+    "USER",
+    "SEARCH_USER",
+    "CRAWLER",
+    "RENDERING_CRAWLER",
+    "Site",
+    "SiteKind",
+    "Page",
+    "StaticPage",
+    "Web",
+    "FetchError",
+    "render_document",
+    "execute_script",
+]

@@ -1,0 +1,98 @@
+"""Domain registration, WHOIS, and seizure state.
+
+Domains are the unit of seizure: a brand-holder court case transfers the
+name, after which every fetch of any URL on it lands on the seizure-notice
+page (Section 3.2.2).  Registration dates feed the lifetime analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.util.simtime import SimDate
+
+
+@dataclass
+class SeizureRecord:
+    """Outcome of a court case applied to a single domain."""
+
+    day: SimDate
+    case_id: str
+    firm: str
+    brand: str
+    #: Domains co-listed in the same court case (the analysis reads these
+    #: off the serving-notice page, exactly as the paper did in §5.3).
+    co_seized: List[str] = field(default_factory=list)
+    #: Some seized sites are simply shut down instead of showing a notice.
+    shows_notice: bool = True
+
+
+@dataclass
+class Domain:
+    """A registered domain name."""
+
+    name: str
+    registered_on: SimDate
+    registrar: str = "cheap-names-llc"
+    registrant: str = "privacy-protected"
+    seizure: Optional[SeizureRecord] = None
+
+    @property
+    def is_seized(self) -> bool:
+        return self.seizure is not None
+
+    def seized_as_of(self, day: SimDate) -> bool:
+        return self.seizure is not None and self.seizure.day <= day
+
+    def seize(self, record: SeizureRecord) -> None:
+        if self.seizure is not None:
+            raise ValueError(f"domain {self.name} already seized by case {self.seizure.case_id}")
+        if record.day < self.registered_on:
+            raise ValueError(f"cannot seize {self.name} before registration")
+        self.seizure = record
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+
+class DomainRegistry:
+    """All domains known to the simulated web."""
+
+    def __init__(self):
+        self._domains: Dict[str, Domain] = {}
+
+    def register(
+        self,
+        name: str,
+        day: SimDate,
+        registrar: str = "cheap-names-llc",
+        registrant: str = "privacy-protected",
+    ) -> Domain:
+        name = name.lower()
+        if name in self._domains:
+            raise ValueError(f"domain {name!r} already registered")
+        domain = Domain(name, day, registrar, registrant)
+        self._domains[name] = domain
+        return domain
+
+    def get(self, name: str) -> Optional[Domain]:
+        return self._domains.get(name.lower())
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._domains
+
+    def __len__(self) -> int:
+        return len(self._domains)
+
+    def all(self) -> List[Domain]:
+        return list(self._domains.values())
+
+    def seized(self, as_of: Optional[SimDate] = None) -> List[Domain]:
+        out = []
+        for domain in self._domains.values():
+            if domain.seizure is None:
+                continue
+            if as_of is None or domain.seizure.day <= as_of:
+                out.append(domain)
+        return out

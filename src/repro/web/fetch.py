@@ -1,0 +1,95 @@
+"""Visitor profiles and fetch responses.
+
+Cloaking keys off exactly three request-side signals (Section 3.1.1):
+whether the User-Agent self-identifies as a search crawler, whether the
+visit arrived through a search-results referrer, and whether the client
+executes JavaScript (iframe cloaking relies on crawlers not rendering).
+A :class:`VisitorProfile` bundles those signals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+CRAWLER_USER_AGENTS = (
+    "Googlebot/2.1 (+http://www.google.com/bot.html)",
+    "Mozilla/5.0 (compatible; bingbot/2.0)",
+)
+BROWSER_USER_AGENT = "Mozilla/5.0 (Windows NT 6.1; WOW64) AppleWebKit/537.36"
+
+#: Known crawler IP prefixes some SEO kits match against (footnote 1).
+CRAWLER_IP_PREFIXES = ("66.249.", "157.55.")
+
+
+@dataclass(frozen=True)
+class VisitorProfile:
+    """The request-side identity a page sees."""
+
+    user_agent: str = BROWSER_USER_AGENT
+    ip_address: str = "203.0.113.7"
+    referrer: str = ""
+    renders_js: bool = True
+
+    @property
+    def looks_like_crawler(self) -> bool:
+        agent = self.user_agent.lower()
+        if "googlebot" in agent or "bingbot" in agent or "bot/" in agent:
+            return True
+        return any(self.ip_address.startswith(p) for p in CRAWLER_IP_PREFIXES)
+
+    @property
+    def via_search(self) -> bool:
+        return "google." in self.referrer or "bing." in self.referrer
+
+    def with_referrer(self, referrer: str) -> "VisitorProfile":
+        return replace(self, referrer=referrer)
+
+
+#: A normal user browsing directly (no search referrer).
+USER = VisitorProfile()
+#: A user who clicked through a Google search result.
+SEARCH_USER = VisitorProfile(referrer="https://www.google.com/search?q=...")
+#: A search-engine crawler that does not render JavaScript.
+CRAWLER = VisitorProfile(
+    user_agent=CRAWLER_USER_AGENTS[0], ip_address="66.249.64.1", renders_js=False
+)
+#: A measurement crawler that renders pages (VanGogh's HtmlUnit analogue).
+RENDERING_CRAWLER = VisitorProfile(referrer="https://www.google.com/search?q=...", renders_js=True)
+
+
+@dataclass
+class Response:
+    """Result of fetching a URL, after following redirects."""
+
+    status: int
+    url: str
+    final_url: str
+    html: str = ""
+    #: Cookie names the landing site sets (store detection, Section 4.1.3).
+    cookies: Tuple[str, ...] = ()
+    headers: Dict[str, str] = field(default_factory=dict)
+    #: Every URL traversed, in order, including the first and last.
+    redirect_chain: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == 200
+
+    @property
+    def redirected(self) -> bool:
+        return len(self.redirect_chain) > 1
+
+    def __repr__(self) -> str:
+        return f"Response({self.status}, {self.url!r} -> {self.final_url!r})"
+
+
+@dataclass
+class PageResult:
+    """What a single page returns for one request, before redirect
+    resolution: either content or a redirect to another URL."""
+
+    html: str = ""
+    redirect_to: Optional[str] = None
+    status: int = 200
+    cookies: Tuple[str, ...] = ()

@@ -1,0 +1,85 @@
+"""Domain name generation.
+
+Produces plausible, unique domain names for storefronts ("cocovipbags.com"),
+doorways, and the legitimate background web, deterministically from the
+scenario seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.util.ids import slugify
+from repro.util.rng import RandomStreams
+from repro.web.domains import DomainRegistry
+
+_STORE_WORDS = (
+    "vip", "top", "best", "mall", "shop", "outlet", "store", "online",
+    "cheap", "sale", "love", "hot", "star", "super", "mega", "gold",
+)
+_TLDS = (".com", ".com", ".com", ".net", ".org", ".co", ".biz")
+_LEGIT_WORDS = (
+    "daily", "city", "review", "style", "fashion", "trend", "buyer",
+    "guide", "forum", "blog", "news", "market", "planet", "world",
+    "club", "zone", "press", "journal", "digest", "weekly",
+)
+
+
+class NameForge:
+    """Unique, deterministic domain names."""
+
+    def __init__(self, streams: RandomStreams, registry: DomainRegistry):
+        self._streams = streams.child("names")
+        self._registry = registry
+        self._issued = set()
+
+    def _unique(self, stream: str, candidates) -> str:
+        rng = self._streams.get(stream)
+        for _ in range(1000):
+            name = candidates(rng)
+            if name not in self._issued and name not in self._registry:
+                self._issued.add(name)
+                return name
+        raise RuntimeError(f"could not find a free domain name on stream {stream!r}")
+
+    def store_domain(self, brand: str, locale: str = "") -> str:
+        """e.g. 'louisvuittonvipmall.com', optionally locale-tagged ('-uk')."""
+        stem = slugify(brand).replace("-", "")[:12]
+
+        def make(rng) -> str:
+            words = rng.sample(_STORE_WORDS, 2)
+            suffix = f"{locale}" if locale and rng.random() < 0.7 else ""
+            digits = str(rng.randint(2, 99)) if rng.random() < 0.35 else ""
+            tld = rng.choice(_TLDS)
+            return f"{stem}{words[0]}{words[1]}{suffix}{digits}{tld}"
+
+        return self._unique(f"store:{stem}:{locale}", make)
+
+    def doorway_domain(self) -> str:
+        """Dedicated doorway names are cheap throwaways."""
+
+        def make(rng) -> str:
+            a = rng.choice(_LEGIT_WORDS)
+            b = rng.choice(_STORE_WORDS)
+            return f"{a}{b}{rng.randint(100, 9999)}{rng.choice(_TLDS)}"
+
+        return self._unique("doorway", make)
+
+    def legit_domain(self) -> str:
+        def make(rng) -> str:
+            a = rng.choice(_LEGIT_WORDS)
+            b = rng.choice(_LEGIT_WORDS)
+            if a == b:
+                b = rng.choice(_STORE_WORDS)
+            digits = str(rng.randint(1, 999)) if rng.random() < 0.3 else ""
+            return f"{a}{b}{digits}{rng.choice(_TLDS)}"
+
+        return self._unique("legit", make)
+
+    def cnc_domain(self, campaign: str) -> str:
+        stem = slugify(campaign).replace("-", "")[:10]
+
+        def make(rng) -> str:
+            return f"{stem}cdn{rng.randint(10, 99)}.net"
+
+        return self._unique(f"cnc:{stem}", make)

@@ -1,0 +1,121 @@
+"""Sites and pages.
+
+A :class:`Site` occupies a domain and serves :class:`Page` objects by path.
+Page content is produced per-request because cloaking makes the response a
+function of the visitor profile and of mutable campaign state (e.g., where
+the doorway currently redirects after a seizure).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, List, Optional
+
+from repro.util.simtime import SimDate
+from repro.web.domains import Domain
+from repro.web.fetch import PageResult, VisitorProfile
+
+
+class SiteKind(enum.Enum):
+    """What a site fundamentally is, for ground-truth bookkeeping.
+
+    The measurement pipeline never reads this; it must infer roles from
+    fetched content, as the paper's crawlers did.
+    """
+
+    LEGITIMATE = "legitimate"
+    COMPROMISED = "compromised"  # legit site hosting injected doorway pages
+    DEDICATED_DOORWAY = "dedicated_doorway"
+    STOREFRONT = "storefront"
+    SEIZURE_NOTICE = "seizure_notice"
+    SUPPLIER = "supplier"
+
+
+class Page:
+    """Abstract page: subclasses implement :meth:`respond`."""
+
+    def __init__(self, path: str):
+        if not path.startswith("/"):
+            raise ValueError(f"page path must start with '/': {path!r}")
+        self.path = path
+
+    def respond(self, profile: VisitorProfile, day: SimDate) -> PageResult:
+        raise NotImplementedError
+
+
+class StaticPage(Page):
+    """A page with fixed HTML (possibly lazily generated once)."""
+
+    def __init__(self, path: str, html: str = "", generator: Optional[Callable[[], str]] = None,
+                 cookies: tuple = ()):
+        super().__init__(path)
+        if generator is None and not html:
+            raise ValueError("StaticPage needs html or a generator")
+        self._html = html
+        self._generator = generator
+        self._cookies = tuple(cookies)
+
+    @property
+    def html(self) -> str:
+        if not self._html and self._generator is not None:
+            self._html = self._generator()
+        return self._html
+
+    def respond(self, profile: VisitorProfile, day: SimDate) -> PageResult:
+        return PageResult(html=self.html, cookies=self._cookies)
+
+
+class DynamicPage(Page):
+    """A page whose response is computed by a callable each request."""
+
+    def __init__(self, path: str, responder: Callable[[VisitorProfile, SimDate], PageResult]):
+        super().__init__(path)
+        self._responder = responder
+
+    def respond(self, profile: VisitorProfile, day: SimDate) -> PageResult:
+        return self._responder(profile, day)
+
+
+class Site:
+    """A collection of pages on one domain."""
+
+    def __init__(self, domain: Domain, kind: SiteKind, authority: float = 0.0,
+                 created_on: Optional[SimDate] = None):
+        self.domain = domain
+        self.kind = kind
+        #: Search-engine reputation in [0, 1]; compromised doorways inherit
+        #: the host site's accrued authority (Section 2).
+        self.authority = authority
+        self.created_on = created_on or domain.registered_on
+        self._pages: Dict[str, Page] = {}
+
+    @property
+    def host(self) -> str:
+        return self.domain.name
+
+    def add_page(self, page: Page) -> Page:
+        if page.path in self._pages:
+            raise ValueError(f"duplicate path {page.path!r} on {self.host}")
+        self._pages[page.path] = page
+        return page
+
+    def replace_page(self, page: Page) -> Page:
+        self._pages[page.path] = page
+        return page
+
+    def get_page(self, path: str) -> Optional[Page]:
+        return self._pages.get(path)
+
+    def pages(self) -> List[Page]:
+        return list(self._pages.values())
+
+    def paths(self) -> List[str]:
+        return sorted(self._pages)
+
+    def url(self, path: str = "/") -> str:
+        if not path.startswith("/"):
+            path = "/" + path
+        return f"http://{self.host}{path}"
+
+    def __repr__(self) -> str:
+        return f"Site({self.host!r}, {self.kind.value}, pages={len(self._pages)})"

@@ -1,0 +1,42 @@
+"""Shared fixtures.
+
+The expensive end-to-end study run (small preset) is session-scoped; most
+integration-flavoured tests read from it rather than re-running the
+simulation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import StudyRun
+from repro.ecosystem import Simulator, small_preset
+from repro.util.rng import RandomStreams
+from repro.util.simtime import SimDate
+
+
+@pytest.fixture(scope="session")
+def study():
+    """A complete small-preset study: simulation + crawl + orders +
+    classification."""
+    return StudyRun(small_preset(), seed_label_count=80).execute()
+
+
+@pytest.fixture(scope="session")
+def world(study):
+    return study.world
+
+
+@pytest.fixture(scope="session")
+def dataset(study):
+    return study.dataset
+
+
+@pytest.fixture()
+def streams():
+    return RandomStreams(1234)
+
+
+@pytest.fixture()
+def day0():
+    return SimDate("2013-11-13")

@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRunCommand:
+    def test_run_small_writes_artifacts(self, tmp_path, capsys):
+        out = str(tmp_path / "study")
+        code = main(["run", "--preset", "small", "--stride", "2", "--out", out])
+        assert code == 0
+        for name in ("psrs.jsonl", "table1.txt", "table2.txt", "table3.txt",
+                     "figure3.txt", "summary.txt"):
+            path = os.path.join(out, name)
+            assert os.path.exists(path), name
+            assert os.path.getsize(path) > 0, name
+        stdout = capsys.readouterr().out
+        assert "PSRs:" in stdout
+        assert "Artifacts written" in stdout
+
+    def test_run_psrs_jsonl_loadable(self, tmp_path):
+        out = str(tmp_path / "study")
+        main(["run", "--preset", "small", "--stride", "3", "--out", out])
+        from repro.crawler import PsrDataset
+
+        dataset = PsrDataset.load_jsonl(os.path.join(out, "psrs.jsonl"))
+        assert len(dataset) > 0
+        assert dataset.verticals()
+
+    def test_run_seed_changes_world(self, tmp_path):
+        out_a = str(tmp_path / "a")
+        out_b = str(tmp_path / "b")
+        main(["run", "--preset", "small", "--seed", "1", "--out", out_a])
+        main(["run", "--preset", "small", "--seed", "2", "--out", out_b])
+        with open(os.path.join(out_a, "summary.txt")) as fa:
+            summary_a = fa.read()
+        with open(os.path.join(out_b, "summary.txt")) as fb:
+            summary_b = fb.read()
+        assert summary_a != summary_b
+
+
+class TestAblationsCommand:
+    def test_ablations_prints_table(self, capsys):
+        code = main(["ablations", "--days", "40"])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "baseline" in stdout
+        assert "no-interventions" in stdout
+        assert "payment-intervention" in stdout
+
+
+class TestParser:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,223 @@
+"""Tests for crawl budgeting semantics and assorted edge cases the main
+suites don't reach: clean-host skipping/recheck, render caps, AWStats
+gating, supplier lookups, notice-parsing robustness."""
+
+import pytest
+
+from repro.util.rng import RandomStreams
+from repro.util.simtime import SimDate
+from repro.web.domains import DomainRegistry
+from repro.web.hosting import Web
+from repro.web.sites import Site, SiteKind, StaticPage
+from repro.crawler import CrawlPolicy, SearchCrawler
+from repro.crawler.awstats import AwstatsNotPublic, scrape_awstats, scrapeable_stores
+from repro.interventions.notices import parse_notice_page
+from repro.market import Supplier
+from repro.ecosystem import Simulator, small_preset
+
+
+class _FakeSerp:
+    def __init__(self, results):
+        self.results = results
+
+
+class _FakeResult:
+    def __init__(self, url, host, path, rank=1):
+        from repro.search.serp import ResultLabel
+
+        self.url = url
+        self.host = host
+        self.path = path
+        self.rank = rank
+        self.label = ResultLabel.NONE
+
+
+class _FakeContext:
+    def __init__(self, day, serps, vertical_of_term):
+        self.day = day
+        self.serps = serps
+        self.vertical_of_term = vertical_of_term
+
+
+def _legit_web(day0, hosts):
+    web = Web()
+    for host in hosts:
+        domain = web.domains.register(host, day0)
+        site = Site(domain, SiteKind.LEGITIMATE, authority=0.5, created_on=day0)
+        site.add_page(StaticPage("/", html=f"<html><body>{host} content</body></html>"))
+        web.add_site(site)
+    return web
+
+
+class _CountingWeb:
+    """Wraps a Web and counts fetches per URL."""
+
+    def __init__(self, web):
+        self._web = web
+        self.fetches = {}
+        self.domains = web.domains
+
+    def fetch(self, url, profile, day):
+        self.fetches[url] = self.fetches.get(url, 0) + 1
+        return self._web.fetch(url, profile, day)
+
+
+class TestCleanHostSkipping:
+    def _crawl_twice(self, policy, day0):
+        web = _legit_web(day0, ["clean.com"])
+        counting = _CountingWeb(web)
+        crawler = SearchCrawler(counting, policy)
+        result = _FakeResult("http://clean.com/", "clean.com", "/")
+        context_a = _FakeContext(day0, {"t": _FakeSerp([result])}, {"t": "V"})
+        context_b = _FakeContext(
+            day0 + policy.stride_days, {"t": _FakeSerp([result])}, {"t": "V"}
+        )
+        crawler.on_day(None, context_a)
+        first = dict(counting.fetches)
+        crawler.on_day(None, context_b)
+        return first, counting.fetches
+
+    def test_clean_hosts_not_recrawled(self, day0):
+        policy = CrawlPolicy(stride_days=1, recheck_clean_after_days=None)
+        first, final = self._crawl_twice(policy, day0)
+        # Second crawl day adds no fetches for the clean host.
+        assert final == first
+
+    def test_recheck_after_expiry(self, day0):
+        policy = CrawlPolicy(stride_days=5, recheck_clean_after_days=3)
+        first, final = self._crawl_twice(policy, day0)
+        assert sum(final.values()) > sum(first.values())
+
+    def test_stride_gates_crawling(self, day0):
+        web = _legit_web(day0, ["clean.com"])
+        counting = _CountingWeb(web)
+        crawler = SearchCrawler(counting, CrawlPolicy(stride_days=3))
+        result = _FakeResult("http://clean.com/", "clean.com", "/")
+        serps = {"t": _FakeSerp([result])}
+        crawler.on_day(None, _FakeContext(day0, serps, {"t": "V"}))
+        fetched = sum(counting.fetches.values())
+        # Off-stride day: nothing happens.
+        crawler.on_day(None, _FakeContext(day0 + 1, serps, {"t": "V"}))
+        assert sum(counting.fetches.values()) == fetched
+        assert crawler.crawl_day_count == 1
+
+
+class TestRenderBudget:
+    def test_one_clean_url_marks_host_clean(self, day0):
+        """The paper's domain-level budgeting: once a host is seen and not
+        detected as poisoned, its other URLs are skipped."""
+        web = _legit_web(day0, ["big.com"])
+        site = web.get_site("big.com")
+        for i in range(4):
+            site.add_page(StaticPage(f"/p{i}.html", html=f"<html><body>page {i}</body></html>"))
+        crawler = SearchCrawler(web, CrawlPolicy(stride_days=1))
+        results = [
+            _FakeResult(f"http://big.com/p{i}.html", "big.com", f"/p{i}.html", rank=i + 1)
+            for i in range(4)
+        ]
+        crawler.on_day(None, _FakeContext(day0, {"t": _FakeSerp(results)}, {"t": "V"}))
+        assert len(crawler._clean_urls) == 1
+        assert "big.com" in crawler._clean_hosts
+
+    def test_vangogh_render_cap_per_host(self, day0):
+        """Iframe-cloaked pages require rendering; at most N renders per
+        doorway host per day, so extra pages stay unclassified that day."""
+        from repro.seo import CloakingType, make_kit
+        from repro.seo.doorways import build_doorway
+        from repro.seo.templates import assign_theme
+
+        streams = RandomStreams(9)
+        web = _legit_web(day0, ["uggstore.com"])
+        store_site = web.get_site("uggstore.com")
+        store_site.add_page(StaticPage("/cart", html="<html><body>cart</body></html>"))
+        domain = web.domains.register("framedoor.com", day0)
+        site = Site(domain, SiteKind.LEGITIMATE, authority=0.4, created_on=day0)
+        site.add_page(StaticPage("/", html="<html><body>blog</body></html>"))
+        web.add_site(site)
+        doorway = build_doorway(
+            "KEY", "Uggs",
+            ["cheap uggs", "uggs outlet", "uggs boots", "uggs sale", "uggs uk"],
+            site, compromised=True, day=day0,
+            theme=assign_theme("KEY", streams),
+            kit=make_kit(CloakingType.IFRAME, streams, "KEY"),
+            landing_url=lambda: "http://uggstore.com/",
+            streams=streams,
+        )
+        crawler = SearchCrawler(web, CrawlPolicy(stride_days=1,
+                                                 max_renders_per_host_per_day=2))
+        results = [
+            _FakeResult(f"http://framedoor.com{p.path}", "framedoor.com", p.path, rank=i + 1)
+            for i, p in enumerate(doorway.pages)
+        ]
+        crawler.on_day(None, _FakeContext(day0, {"t": _FakeSerp(results)}, {"t": "V"}))
+        # Only the budgeted number of pages could be rendered and detected.
+        assert len(crawler._cloaked_urls) == 2
+        # Next crawl day, the budget resets and more get classified.
+        crawler.on_day(None, _FakeContext(day0 + 1, {"t": _FakeSerp(results)}, {"t": "V"}))
+        assert len(crawler._cloaked_urls) == 4
+
+
+class TestAwstatsGate:
+    def test_private_stats_raise(self, world):
+        private = [s for s in world.stores() if not s.awstats_public]
+        if not private:
+            pytest.skip("every store public in this run")
+        with pytest.raises(AwstatsNotPublic):
+            scrape_awstats(private[0], world.window.start, world.window.end)
+
+    def test_scrapeable_filter(self, world):
+        subset = scrapeable_stores(world.stores())
+        assert all(s.awstats_public for s in subset)
+
+
+class TestSupplierLookups:
+    def test_unknown_ids_return_none_slots(self, day0):
+        supplier = Supplier("lux", RandomStreams(4), ["MSVALIDATE"])
+        supplier.fulfill_orders("MSVALIDATE", day0, 3)
+        known = sorted(r.order_id for r in supplier.scrape_all())
+        rows = supplier.lookup([known[0], 999999999])
+        assert rows[0] is not None
+        assert rows[1] is None
+
+    def test_scrape_empty_supplier(self):
+        supplier = Supplier("lux", RandomStreams(4), ["MSVALIDATE"])
+        assert supplier.scrape_all() == []
+
+    def test_negative_count_rejected(self, day0):
+        supplier = Supplier("lux", RandomStreams(4), ["MSVALIDATE"])
+        with pytest.raises(ValueError):
+            supplier.fulfill_orders("MSVALIDATE", day0, -1)
+
+
+class TestNoticeParsingRobustness:
+    def test_truncated_notice_returns_none_or_partial(self):
+        # Banner without the body paragraph: no case id -> not a notice.
+        html = '<html><body><div id="seizure-notice"><h1>x</h1></div></body></html>'
+        assert parse_notice_page(html) is None
+
+    def test_notice_with_empty_schedule(self):
+        from repro.interventions.notices import NoticeInfo, build_notice_page
+
+        info = NoticeInfo("14-cv-1", "GBC", "Uggs", "a.com", co_seized=[])
+        parsed = parse_notice_page(build_notice_page(info))
+        assert parsed is not None
+        assert parsed.co_seized == []
+
+    def test_non_html_garbage(self):
+        assert parse_notice_page("") is None
+        assert parse_notice_page("just text, no markup") is None
+
+
+class TestStudySerialization:
+    def test_full_dataset_roundtrip(self, study, tmp_path):
+        path = str(tmp_path / "full.jsonl")
+        study.dataset.dump_jsonl(path)
+        from repro.crawler import PsrDataset
+
+        loaded = PsrDataset.load_jsonl(path)
+        assert len(loaded) == len(study.dataset)
+        assert loaded.verticals() == study.dataset.verticals()
+        # Campaign attribution survives the round trip.
+        original = sum(1 for r in study.dataset.records if r.campaign)
+        restored = sum(1 for r in loaded.records if r.campaign)
+        assert original == restored

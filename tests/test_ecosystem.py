@@ -1,0 +1,212 @@
+"""Tests for scenario config, presets, world, and simulator behaviour."""
+
+import pytest
+
+from repro.util.simtime import DateRange, SimDate, STUDY_END, STUDY_START
+from repro.seo.campaign import CampaignSpec
+from repro.seo.cloaking import CloakingType
+from repro.ecosystem import (
+    ScenarioConfig,
+    Simulator,
+    VerticalSpec,
+    paper_preset,
+    small_preset,
+)
+from repro.ecosystem.presets import CAMPAIGN_TABLE, VERTICAL_TABLE
+
+
+class TestConfigValidation:
+    def test_duplicate_verticals_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(
+                verticals=[VerticalSpec("A", ["A"]), VerticalSpec("A", ["A"])],
+            )
+
+    def test_campaign_unknown_vertical_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(
+                verticals=[VerticalSpec("A", ["A"])],
+                campaigns=[
+                    CampaignSpec(name="X", verticals=["B"], doorways=1,
+                                 stores=1, brands=1, peak_days=10)
+                ],
+            )
+
+    def test_campaign_spec_validation(self):
+        with pytest.raises(ValueError):
+            CampaignSpec(name="X", verticals=[], doorways=1, stores=1,
+                         brands=1, peak_days=1)
+        with pytest.raises(ValueError):
+            CampaignSpec(name="X", verticals=["V"], doorways=0, stores=1,
+                         brands=1, peak_days=1)
+
+
+class TestPaperPreset:
+    def test_sixteen_verticals(self):
+        config = paper_preset(scale=0.05)
+        assert len(config.verticals) == 16
+        names = {v.name for v in config.verticals}
+        assert {"Louis Vuitton", "Uggs", "Golf", "Sunglasses", "Watches"} <= names
+
+    def test_52_campaigns(self):
+        config = paper_preset(scale=0.05)
+        assert len(config.campaigns) == 52
+
+    def test_key_targets_13_verticals(self):
+        config = paper_preset(scale=0.05)
+        key = next(c for c in config.campaigns if c.name == "KEY")
+        assert len(key.verticals) == 13
+        assert "Louis Vuitton" not in key.verticals
+        assert "Uggs" not in key.verticals
+        assert "Ed Hardy" not in key.verticals
+
+    def test_scaled_counts_proportional(self):
+        small = paper_preset(scale=0.05)
+        large = paper_preset(scale=0.2)
+        get = lambda cfg, name: next(c for c in cfg.campaigns if c.name == name)
+        assert get(large, "KEY").doorways > get(small, "KEY").doorways * 2
+        # Order of Table 2 preserved: KEY has by far the most doorways.
+        assert get(large, "KEY").doorways == max(c.doorways for c in large.campaigns)
+
+    def test_biglove_rotates_proactively(self):
+        config = paper_preset(scale=0.05)
+        biglove = next(c for c in config.campaigns if c.name == "BIGLOVE")
+        assert biglove.proactive_rotation_days
+        assert "Chanel" in biglove.extra_brands
+
+    def test_two_firms_with_paper_clients(self):
+        config = paper_preset(scale=0.05)
+        firms = {f.name: f for f in config.firms}
+        assert set(firms) == {"GBC", "SMGPA"}
+        assert len(firms["GBC"].clients) == 17
+        assert len(firms["SMGPA"].clients) == 11
+        assert firms["GBC"].policy.brand_interval_overrides["Uggs"] == 14
+
+    def test_key_demotion_scripted_mid_december(self):
+        config = paper_preset(scale=0.05)
+        assert any(
+            s.campaign == "KEY" and s.day.month == 12 and s.day.year == 2013
+            for s in config.scripted_demotions
+        )
+
+    def test_msvalidate_is_supplier_partner(self):
+        assert "MSVALIDATE" in paper_preset(scale=0.05).supplier_partners
+
+    def test_window_matches_study(self):
+        config = paper_preset(scale=0.05)
+        assert config.window.start == STUDY_START
+        assert config.window.end == STUDY_END
+
+    def test_scale_validated(self):
+        with pytest.raises(ValueError):
+            paper_preset(scale=0.0)
+        with pytest.raises(ValueError):
+            paper_preset(scale=1.5)
+
+    def test_deterministic(self):
+        a = paper_preset(scale=0.05)
+        b = paper_preset(scale=0.05)
+        assert [c.doorways for c in a.campaigns] == [c.doorways for c in b.campaigns]
+        assert [c.verticals for c in a.campaigns] == [c.verticals for c in b.campaigns]
+
+    def test_table_constants_match_paper(self):
+        # Spot-check Table 2 rows.
+        rows = dict((r[0], r[1:]) for r in CAMPAIGN_TABLE)
+        assert rows["KEY"] == (1980, 97, 28, 65)
+        assert rows["MSVALIDATE"] == (530, 98, 6, 52)
+        assert rows["VERA"] == (155, 38, 12, 156)
+        assert len(CAMPAIGN_TABLE) == 38
+        assert len(VERTICAL_TABLE) == 16
+
+
+class TestSimulatorGroundTruth:
+    """World-level invariants after the session study's run."""
+
+    def test_campaign_inventory_built(self, world):
+        for campaign in world.campaigns():
+            assert campaign.stores
+            assert campaign.doorways
+            assert campaign.cnc is not None
+
+    def test_doorway_counts_match_specs(self, world):
+        for campaign in world.campaigns():
+            assert len(campaign.doorways) <= campaign.spec.doorways
+            # All planned doorways eventually created.
+            assert not campaign._doorway_plan
+
+    def test_every_store_tracked(self, world):
+        for campaign in world.campaigns():
+            for store in campaign.stores:
+                assert world.store_by_id(store.store_id) is store
+                for host in store.all_hosts():
+                    assert world.store_at(host) is store
+
+    def test_rotations_follow_seizures(self, world):
+        """Each seizure-reason rotation must target a store whose prior
+        domain really was seized."""
+        rotations = world.events.of_kind(world.events.ROTATION)
+        seizure_rotations = [e for e in rotations if e.payload["reason"] == "seizure"]
+        for event in seizure_rotations:
+            old = world.web.domains.get(event.payload["old_host"])
+            assert old is not None and old.is_seized
+            assert old.seizure.day <= event.day
+
+    def test_seized_stores_rotated_within_reaction_window(self, world):
+        rotations = world.events.of_kind(world.events.ROTATION)
+        for event in rotations:
+            if event.payload["reason"] != "seizure":
+                continue
+            old = world.web.domains.get(event.payload["old_host"])
+            delay = event.day - old.seizure.day
+            assert delay >= 1
+
+    def test_cnc_points_to_live_domain_after_rotation(self, world):
+        for campaign in world.campaigns():
+            for store in campaign.stores:
+                landing = campaign.cnc.landing_url(store.store_id)
+                assert landing == f"http://{store.current_domain.name}/"
+
+    def test_compromise_pool_consumed_not_overdrawn(self, world):
+        assert world.compromise_pool_remaining() >= 0
+
+    def test_orders_happened(self, world):
+        total = sum(s.total_orders_created() for s in world.stores())
+        assert total > 0
+
+    def test_supplier_received_partner_volume(self, study):
+        supplier = study.supplier
+        assert supplier is not None
+        campaigns = {r.campaign for r in supplier.scrape_all()}
+        assert "MSVALIDATE" in campaigns
+
+    def test_store_sightings_track_visibility(self, world):
+        sightings = world.store_sightings("Uggs")
+        assert sightings
+        for sighting in sightings:
+            assert sighting.first_seen <= sighting.last_seen
+
+
+class TestSimulatorDeterminism:
+    def test_same_seed_same_outcome(self):
+        config = small_preset(days=30)
+        a = Simulator(config)
+        a.run()
+        b = Simulator(small_preset(days=30))
+        b.run()
+        orders_a = sorted(
+            (s.store_id, s.total_orders_created()) for s in a.world.stores()
+        )
+        orders_b = sorted(
+            (s.store_id, s.total_orders_created()) for s in b.world.stores()
+        )
+        assert orders_a == orders_b
+        assert len(a.world.events) == len(b.world.events)
+
+    def test_different_seed_different_outcome(self):
+        a = Simulator(small_preset(seed=1, days=30))
+        a.run()
+        b = Simulator(small_preset(seed=2, days=30))
+        b.run()
+        orders_a = sum(s.total_orders_created() for s in a.world.stores())
+        orders_b = sum(s.total_orders_created() for s in b.world.stores())
+        assert orders_a != orders_b

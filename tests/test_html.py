@@ -1,0 +1,172 @@
+"""Tests for the HTML substrate: DOM, parser, builder."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.html import Document, Element, Text, Comment, PageBuilder, parse_html, tokenize
+
+
+class TestNodes:
+    def test_element_to_html(self):
+        el = Element("div", {"class": "x"}, [Text("hello")])
+        assert el.to_html() == '<div class="x">hello</div>'
+
+    def test_void_element_no_close_tag(self):
+        el = Element("img", {"src": "/a.jpg"})
+        assert el.to_html() == '<img src="/a.jpg"/>'
+
+    def test_attribute_escaping(self):
+        el = Element("div", {"title": 'a"b'})
+        assert "&quot;" in el.to_html()
+
+    def test_text_escaping(self):
+        assert Text("a < b & c").to_html() == "a &lt; b &amp; c"
+
+    def test_comment(self):
+        assert Comment("tpl:x").to_html() == "<!--tpl:x-->"
+
+    def test_find_all_depth_first(self):
+        root = Element("div")
+        child = root.add("ul")
+        child.add("li", text="one")
+        child.add("li", text="two")
+        assert [li.text_content() for li in root.find_all("li")] == ["one", "two"]
+
+    def test_find_returns_first_or_none(self):
+        root = Element("div")
+        assert root.find("span") is None
+        root.add("span", text="s")
+        assert root.find("span").text_content() == "s"
+
+    def test_text_content_recursive(self):
+        root = Element("div")
+        root.add("p", text="a")
+        root.add("p", text="b")
+        assert root.text_content() == "ab"
+
+    def test_document_title(self):
+        builder = PageBuilder(title="Hello")
+        assert builder.build().title() == "Hello"
+
+
+class TestTokenizer:
+    def test_simple_tags(self):
+        tokens = list(tokenize("<p>hi</p>"))
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["start", "text", "end"]
+
+    def test_attributes_quoted(self):
+        tokens = list(tokenize('<a href="/x" class=\'y\'>'))
+        assert tokens[0].attrs == {"href": "/x", "class": "y"}
+
+    def test_attributes_unquoted(self):
+        tokens = list(tokenize("<a href=/x>"))
+        assert tokens[0].attrs["href"] == "/x"
+
+    def test_self_closing(self):
+        tokens = list(tokenize("<br/>"))
+        assert tokens[0].self_closing
+
+    def test_comment_token(self):
+        tokens = list(tokenize("<!-- note -->"))
+        assert tokens[0].kind == "comment"
+        assert tokens[0].data == " note "
+
+    def test_doctype(self):
+        tokens = list(tokenize("<!DOCTYPE html><p>x</p>"))
+        assert tokens[0].kind == "doctype"
+
+    def test_script_raw_text(self):
+        html = "<script>if (a < b) { document.write('<p>x</p>'); }</script>"
+        tokens = list(tokenize(html))
+        assert tokens[0].kind == "start"
+        assert tokens[1].kind == "text"
+        assert "a < b" in tokens[1].data
+        assert tokens[2].kind == "end"
+
+    def test_entity_unescaping_in_text(self):
+        tokens = list(tokenize("<p>a &amp; b</p>"))
+        assert tokens[1].data == "a & b"
+
+    def test_stray_lt_survives(self):
+        tokens = list(tokenize("1 < 2"))
+        text = "".join(t.data for t in tokens if t.kind == "text")
+        assert "<" in text and "2" in text
+
+
+class TestParser:
+    def test_roundtrip_builder_output(self):
+        builder = PageBuilder(title="T")
+        builder.paragraph("hello world")
+        builder.div(cls="c", text="d")
+        html = builder.html()
+        doc = parse_html(html)
+        assert doc.title() == "T"
+        assert len(doc.find_all("p")) >= 1
+        assert doc.to_html() == parse_html(doc.to_html()).to_html()
+
+    def test_unclosed_tags_tolerated(self):
+        doc = parse_html("<div><p>one<p>two</div>")
+        assert "one" in doc.text_content()
+        assert "two" in doc.text_content()
+
+    def test_stray_close_ignored(self):
+        doc = parse_html("</div><p>x</p>")
+        assert doc.find_all("p")
+
+    def test_nested_structure(self):
+        doc = parse_html("<div><ul><li>a</li><li>b</li></ul></div>")
+        ul = doc.root.find("ul")
+        assert len([c for c in ul.children if isinstance(c, Element)]) == 2
+
+    def test_iframe_attrs(self):
+        doc = parse_html('<iframe src="http://x.com/" width="100%" height="100%"></iframe>')
+        iframe = doc.find_all("iframe")[0]
+        assert iframe.get("width") == "100%"
+
+    def test_script_content_preserved_verbatim(self):
+        code = "var a = '<iframe src=\"http://e.com\">';"
+        doc = parse_html(f"<body><script>{code}</script></body>")
+        script = doc.find_all("script")[0]
+        assert script.text_content() == code
+
+    def test_html_attrs_merged_onto_root(self):
+        doc = parse_html('<html lang="de"><body>x</body></html>')
+        assert doc.root.get("lang") == "de"
+        # No nested <html> element.
+        assert len(doc.find_all("html")) == 1
+
+    def test_parse_never_raises_on_noise(self):
+        for source in ["", "<", "<<<>>>", "<a", "<!----", "</", "a<b>c"]:
+            parse_html(source)  # must not raise
+
+    @given(st.text(alphabet="<>ab c/\"'=!-", max_size=120))
+    def test_parser_total_on_adversarial_input(self, source):
+        parse_html(source)  # must not raise
+
+
+class TestPageBuilder:
+    def test_head_contains_charset(self):
+        page = PageBuilder()
+        html = page.html()
+        assert 'charset="utf-8"' in html
+
+    def test_meta_and_stylesheet(self):
+        page = PageBuilder().meta("robots", "noindex").stylesheet("/s.css")
+        html = page.html()
+        assert 'name="robots"' in html
+        assert 'href="/s.css"' in html
+
+    def test_script_inline(self):
+        page = PageBuilder().script(code="document.write('x');")
+        doc = parse_html(page.html())
+        assert "document.write" in doc.find_all("script")[0].text_content()
+
+    def test_heading_levels_validated(self):
+        with pytest.raises(ValueError):
+            PageBuilder().heading("x", level=7)
+
+    def test_iframe_helper(self):
+        page = PageBuilder().iframe("http://s.com/", "100%", "100%", frameborder="0")
+        doc = parse_html(page.html())
+        assert doc.find_all("iframe")[0].get("frameborder") == "0"

@@ -1,0 +1,257 @@
+"""Tests for the interventions: notices, search ops, seizures."""
+
+import pytest
+
+from repro.util.rng import RandomStreams
+from repro.util.simtime import SimDate
+from repro.interventions import (
+    BrandProtectionFirm,
+    CourtCase,
+    NoticeInfo,
+    SeizureAuthority,
+    SeizurePolicy,
+    build_notice_page,
+    parse_notice_page,
+)
+from repro.interventions.search_ops import ScriptedDemotion, SearchOpsPolicy
+from repro.web.hosting import Web
+from repro.web.fetch import USER
+
+
+class TestNotices:
+    def _info(self):
+        return NoticeInfo(
+            case_id="14-cv-0042-gbc",
+            firm="GBC",
+            brand="Louis Vuitton",
+            domain="lvvipmall.com",
+            co_seized=["lvvipmall.com", "lvtopshop.net", "lvoutlet24.com"],
+        )
+
+    def test_roundtrip(self):
+        info = self._info()
+        parsed = parse_notice_page(build_notice_page(info))
+        assert parsed is not None
+        assert parsed.case_id == info.case_id
+        assert parsed.firm == "GBC"
+        assert parsed.brand == "Louis Vuitton"
+        assert parsed.domain == "lvvipmall.com"
+        assert parsed.co_seized == info.co_seized
+
+    def test_non_notice_returns_none(self):
+        assert parse_notice_page("<html><body><h1>Shop</h1></body></html>") is None
+
+    def test_notice_is_noindex(self):
+        assert 'name="robots"' in build_notice_page(self._info())
+
+
+class TestCourtCase:
+    def test_validation(self, day0):
+        with pytest.raises(ValueError):
+            CourtCase("c", "GBC", "Uggs", day0, day0 - 1, ["a.com"])
+        with pytest.raises(ValueError):
+            CourtCase("c", "GBC", "Uggs", day0, day0 + 1, [])
+
+
+class TestSeizureAuthority:
+    def test_execute_seizes_and_serves_notice(self, day0):
+        web = Web()
+        web.domains.register("store.com", day0)
+        authority = SeizureAuthority(web)
+        case = CourtCase("14-cv-1-gbc", "GBC", "Uggs", day0 + 10, day0 + 20,
+                         ["store.com", "ghost.com"])
+        policy = SeizurePolicy(notice_fraction=1.0)
+        import random
+        seized = authority.execute(case, policy, random.Random(0))
+        assert seized == ["store.com"]  # ghost.com was never registered
+        response = web.fetch("http://store.com/", USER, day0 + 20)
+        parsed = parse_notice_page(response.html)
+        assert parsed is not None
+        assert parsed.case_id == "14-cv-1-gbc"
+        assert "ghost.com" in parsed.co_seized
+
+    def test_already_seized_skipped(self, day0):
+        web = Web()
+        web.domains.register("s.com", day0)
+        authority = SeizureAuthority(web)
+        import random
+        rng = random.Random(0)
+        policy = SeizurePolicy()
+        case1 = CourtCase("c1", "GBC", "Uggs", day0, day0 + 1, ["s.com"])
+        case2 = CourtCase("c2", "GBC", "Uggs", day0, day0 + 2, ["s.com"])
+        assert authority.execute(case1, policy, rng) == ["s.com"]
+        assert authority.execute(case2, policy, rng) == []
+
+
+class _FakeWorldForOps:
+    """Minimal world stub for the search team."""
+
+    def __init__(self, engine, doorways, campaigns=None):
+        self.engine = engine
+        self._doorways = doorways
+        self._campaigns = campaigns or {}
+        self.demotions = []
+
+    def active_doorways(self):
+        return iter(self._doorways)
+
+    def campaign_by_name(self, name):
+        return self._campaigns.get(name)
+
+    def record_demotion(self, name, day, amount):
+        self.demotions.append((name, day, amount))
+
+
+class _FakeDoorway:
+    def __init__(self, host, created_on, root_injected=False):
+        self.host = host
+        self.created_on = created_on
+        self.root_injected = root_injected
+
+
+class _FakeCampaign:
+    def __init__(self, name, doorways):
+        self.name = name
+        self.doorways = doorways
+
+
+class TestSearchQualityTeam:
+    def test_root_injected_labeled_much_more_often(self, day0):
+        from repro.interventions.search_ops import SearchQualityTeam
+        from repro.search.engine import SearchEngine
+        from repro.search.index import SearchIndex
+
+        streams = RandomStreams(21)
+        engine = SearchEngine(SearchIndex(), streams)
+        campaign = _FakeCampaign("C", [])
+        rooted = [_FakeDoorway(f"r{i}.com", day0, True) for i in range(300)]
+        plain = [_FakeDoorway(f"p{i}.com", day0, False) for i in range(300)]
+        world = _FakeWorldForOps(engine, [(campaign, d) for d in rooted + plain])
+        team = SearchQualityTeam(SearchOpsPolicy(), streams)
+        for offset in range(150):
+            team.on_day(world, day0 + offset)
+        labeled = team.labeled_hosts()
+        rooted_labeled = sum(1 for d in rooted if d.host in labeled)
+        plain_labeled = sum(1 for d in plain if d.host in labeled)
+        assert rooted_labeled > plain_labeled * 5
+
+    def test_label_delays_in_paper_window(self, day0):
+        from repro.interventions.search_ops import SearchQualityTeam
+        from repro.search.engine import SearchEngine
+        from repro.search.index import SearchIndex
+
+        streams = RandomStreams(22)
+        engine = SearchEngine(SearchIndex(), streams)
+        campaign = _FakeCampaign("C", [])
+        doorways = [_FakeDoorway(f"r{i}.com", day0, True) for i in range(400)]
+        world = _FakeWorldForOps(engine, [(campaign, d) for d in doorways])
+        team = SearchQualityTeam(SearchOpsPolicy(), streams)
+        for offset in range(200):
+            team.on_day(world, day0 + offset)
+        delays = [labeled_day - day0 for labeled_day in team.labeled_hosts().values()]
+        assert delays
+        mean_delay = sum(delays) / len(delays)
+        assert 13 <= mean_delay <= 32  # the paper's measured window
+
+    def test_scripted_demotion_hits_whole_fleet(self, day0):
+        from repro.interventions.search_ops import SearchQualityTeam
+        from repro.search.engine import SearchEngine
+        from repro.search.index import SearchIndex
+
+        streams = RandomStreams(23)
+        engine = SearchEngine(SearchIndex(), streams)
+        doorways = [_FakeDoorway(f"k{i}.com", day0) for i in range(40)]
+        campaign = _FakeCampaign("KEY", doorways)
+        world = _FakeWorldForOps(engine, [(campaign, d) for d in doorways],
+                                 {"KEY": campaign})
+        team = SearchQualityTeam(
+            SearchOpsPolicy(),
+            streams,
+            scripted=[ScriptedDemotion("KEY", day0 + 5, amount=2.6)],
+        )
+        team.on_day(world, day0 + 4)
+        assert engine.penalty_of("k0.com", day0 + 4) == 0.0
+        team.on_day(world, day0 + 5)
+        assert engine.penalty_of("k0.com", day0 + 6) == 2.6
+        assert world.demotions == [("KEY", day0 + 5, 2.6)]
+
+
+class _FakeSighting:
+    def __init__(self, host, first_seen):
+        self.host = host
+        self.first_seen = first_seen
+
+
+class _FakeWorldForFirm:
+    def __init__(self, web, sightings):
+        self.web = web
+        self._sightings = sightings
+        self.cases = []
+
+    def store_sightings(self, brand):
+        return self._sightings.get(brand, [])
+
+    def record_seizure_case(self, firm, case, seized, day):
+        self.cases.append(case)
+
+
+class TestBrandProtectionFirm:
+    def _setup(self, day0, hosts, first_seen_offset=0):
+        web = Web()
+        for host in hosts:
+            web.domains.register(host, day0)
+        authority = SeizureAuthority(web)
+        sightings = {
+            "Uggs": [_FakeSighting(h, day0 + first_seen_offset) for h in hosts]
+        }
+        world = _FakeWorldForFirm(web, sightings)
+        policy = SeizurePolicy(
+            case_interval_days=30, batch_size=10, legal_delay_days=7,
+            min_observed_age_days=20,
+        )
+        firm = BrandProtectionFirm("GBC", ["Uggs"], policy, RandomStreams(31), authority)
+        return web, world, firm
+
+    def test_cases_filed_in_bulk_after_min_age(self, day0):
+        hosts = [f"store{i}.com" for i in range(15)]
+        web, world, firm = self._setup(day0, hosts)
+        for offset in range(120):
+            firm.on_day(world, day0 + offset)
+        assert firm.docket
+        first = firm.docket[0]
+        # Bulk: multiple domains per case, capped at batch size.
+        assert 1 < len(first.domains) <= 10
+        # Legal delay respected.
+        assert first.executed_on - first.filed_on == 7
+        # Stores were at least min_observed_age_days old when filed.
+        assert first.filed_on - day0 >= 20
+
+    def test_seizures_apply_to_registry(self, day0):
+        hosts = [f"store{i}.com" for i in range(5)]
+        web, world, firm = self._setup(day0, hosts)
+        for offset in range(150):
+            firm.on_day(world, day0 + offset)
+        seized = [d.name for d in web.domains.seized()]
+        assert seized
+        for name in seized:
+            record = web.domains.get(name).seizure
+            assert record.firm == "GBC"
+            assert record.brand == "Uggs"
+            assert set(record.co_seized) >= {name}
+
+    def test_total_domains_seized_counts_docket(self, day0):
+        hosts = [f"store{i}.com" for i in range(5)]
+        web, world, firm = self._setup(day0, hosts)
+        for offset in range(150):
+            firm.on_day(world, day0 + offset)
+        assert firm.total_domains_seized() == sum(len(c.domains) for c in firm.docket)
+
+    def test_brand_interval_override(self, day0):
+        web = Web()
+        authority = SeizureAuthority(web)
+        policy = SeizurePolicy(case_interval_days=100,
+                               brand_interval_overrides={"Uggs": 14})
+        firm = BrandProtectionFirm("GBC", ["Uggs", "Nike"], policy,
+                                   RandomStreams(32), authority)
+        assert firm._interval_for("Uggs") == 14
+        assert firm._interval_for("Nike") == 100

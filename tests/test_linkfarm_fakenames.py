@@ -1,0 +1,148 @@
+"""Tests for the backlink-farm substrate and fictional-identity generator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.util.rng import RandomStreams
+from repro.seo import LinkFarm
+from repro.seo.linkfarm import AUTHORITY_CAP, AUTHORITY_FLOOR
+from repro.orders import FakeIdentityGenerator
+from repro.orders.fakenames import _luhn_check_digit
+
+
+class TestLinkFarm:
+    def _farm(self, size=40, seed=3):
+        return LinkFarm("KEY", RandomStreams(seed), farm_size=size)
+
+    def test_farm_size(self):
+        assert self._farm(25).farm_size == 25
+
+    def test_size_validated(self):
+        with pytest.raises(ValueError):
+            self._farm(size=1)
+
+    def test_add_doorway_creates_backlinks(self):
+        farm = self._farm()
+        links = farm.add_doorway("door1.com")
+        assert links >= 2
+        assert farm.backlink_count("door1.com") == links
+        assert "door1.com" in farm.doorway_hosts()
+
+    def test_duplicate_doorway_rejected(self):
+        farm = self._farm()
+        farm.add_doorway("door1.com")
+        with pytest.raises(ValueError):
+            farm.add_doorway("door1.com")
+
+    def test_authority_bounds(self):
+        farm = self._farm()
+        for i in range(30):
+            farm.add_doorway(f"door{i}.com")
+        for host in farm.doorway_hosts():
+            authority = farm.authority_of(host)
+            assert AUTHORITY_FLOOR <= authority <= AUTHORITY_CAP
+
+    def test_more_backlinks_more_equity(self):
+        farm = self._farm(size=60)
+        farm.add_doorway("weak.com", backlinks=2)
+        farm.add_doorway("strong.com", backlinks=30)
+        assert farm.link_equity("strong.com") > farm.link_equity("weak.com")
+        assert farm.authority_of("strong.com") > farm.authority_of("weak.com")
+
+    def test_unknown_host_zero_equity(self):
+        farm = self._farm()
+        assert farm.link_equity("ghost.com") == 0.0
+        assert farm.backlink_count("ghost.com") == 0
+
+    def test_equity_dilutes_as_farm_serves_more_doorways(self):
+        """A farm's juice is finite: doorway #1 loses equity as the farm
+        takes on more doorways."""
+        lone = self._farm(size=40, seed=9)
+        lone.add_doorway("first.com", backlinks=10)
+        solo_equity = lone.link_equity("first.com")
+        crowded = self._farm(size=40, seed=9)
+        crowded.add_doorway("first.com", backlinks=10)
+        for i in range(20):
+            crowded.add_doorway(f"other{i}.com", backlinks=10)
+        assert crowded.link_equity("first.com") < solo_equity
+
+    def test_deterministic(self):
+        a = self._farm(seed=5)
+        b = self._farm(seed=5)
+        a.add_doorway("d.com")
+        b.add_doorway("d.com")
+        assert a.link_equity("d.com") == b.link_equity("d.com")
+
+    def test_dedicated_doorways_use_farm_authority(self):
+        """Integration: a campaign's dedicated doorway sites carry the
+        farm-derived authority."""
+        from repro.ecosystem import Simulator, small_preset
+        from repro.web.sites import SiteKind
+
+        sim = Simulator(small_preset(days=40))
+        world = sim.run()
+        dedicated = 0
+        for campaign in world.campaigns():
+            for doorway in campaign.doorways:
+                if doorway.compromised:
+                    continue
+                dedicated += 1
+                # Authority was drawn from the farm at creation; the farm's
+                # equity dilutes as later doorways join, so we check bounds
+                # and farm membership rather than the momentary value.
+                assert AUTHORITY_FLOOR <= doorway.site.authority <= AUTHORITY_CAP
+                assert doorway.host in campaign.link_farm.doorway_hosts()
+                assert campaign.link_farm.backlink_count(doorway.host) >= 2
+                assert doorway.site.kind is SiteKind.DEDICATED_DOORWAY
+        assert dedicated > 0
+
+
+class TestFakeIdentities:
+    def test_identity_consistency(self):
+        generator = FakeIdentityGenerator(RandomStreams(7))
+        identity = generator.identity("DE")
+        first, last = identity.full_name.split()
+        assert first.lower() in identity.email
+        assert last.lower() in identity.email
+        assert identity.country == "DE"
+
+    def test_unknown_country_falls_back(self):
+        generator = FakeIdentityGenerator(RandomStreams(7))
+        assert generator.identity("XX").country == "US"
+
+    def test_card_numbers_luhn_valid_and_test_bin(self):
+        generator = FakeIdentityGenerator(RandomStreams(7))
+        for _ in range(50):
+            identity = generator.identity()
+            assert identity.luhn_valid()
+            assert identity.card_number.startswith("411111")
+            assert len(identity.card_number) == 16
+
+    def test_emails_unique(self):
+        generator = FakeIdentityGenerator(RandomStreams(7))
+        emails = {generator.identity().email for _ in range(200)}
+        assert len(emails) == 200
+
+    def test_deterministic(self):
+        a = FakeIdentityGenerator(RandomStreams(11)).identity()
+        b = FakeIdentityGenerator(RandomStreams(11)).identity()
+        assert a == b
+
+    @given(st.text(alphabet="0123456789", min_size=1, max_size=18))
+    def test_luhn_check_digit_makes_valid_numbers(self, digits):
+        full = digits + _luhn_check_digit(digits)
+        # Standard Luhn validation over the completed number.
+        total = 0
+        for index, char in enumerate(reversed(full)):
+            value = int(char)
+            if index % 2 == 1:
+                value *= 2
+                if value > 9:
+                    value -= 9
+            total += value
+        assert total % 10 == 0
+
+    def test_orderer_records_identities(self, study):
+        assert len(study.orderer.identities_used) == study.orderer.total_orders_created
+        for identity in study.orderer.identities_used[:20]:
+            assert identity.luhn_valid()

@@ -1,0 +1,268 @@
+"""Tests for the market package: brands, products, payments, stores,
+traffic, supplier."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.util.rng import RandomStreams
+from repro.util.simtime import SimDate
+from repro.web.domains import DomainRegistry, SeizureRecord
+from repro.market import (
+    Brand,
+    BrandCatalog,
+    ShipmentStatus,
+    Store,
+    Supplier,
+    default_brand_catalog,
+    default_payment_network,
+    generate_products,
+)
+from repro.market.traffic import GeoModel, VisitLog, awstats_for
+from repro.analysis.supplier import supplier_summary
+
+
+class TestBrands:
+    def test_catalog_lookup_by_name_or_slug(self):
+        catalog = default_brand_catalog()
+        assert catalog.get("Louis Vuitton").msrp == 2400.0
+        assert catalog.get("louis-vuitton").name == "Louis Vuitton"
+
+    def test_catalog_contains_all_vertical_anchors(self):
+        catalog = default_brand_catalog()
+        for name in ("Abercrombie", "Uggs", "Beats By Dre", "Tiffany", "Chanel"):
+            assert name in catalog
+
+    def test_unknown_brand_raises(self):
+        with pytest.raises(KeyError):
+            default_brand_catalog().get("NotABrand")
+
+    def test_duplicate_brand_rejected(self):
+        catalog = BrandCatalog([Brand("X", "apparel", 10.0)])
+        with pytest.raises(ValueError):
+            catalog.add(Brand("X", "apparel", 10.0))
+
+
+class TestProducts:
+    def test_counterfeit_economics(self):
+        """Counterfeits price at a small fraction of MSRP with high margin
+        (the paper's $2400 -> $250 -> $20 example)."""
+        brand = default_brand_catalog().get("Louis Vuitton")
+        products = generate_products(brand, 30, RandomStreams(1))
+        for product in products:
+            assert product.price < brand.msrp * 0.2
+            assert product.cost < product.price * 0.2
+            assert product.margin > 0
+
+    def test_deterministic(self):
+        brand = default_brand_catalog().get("Nike")
+        a = generate_products(brand, 5, RandomStreams(3))
+        b = generate_products(brand, 5, RandomStreams(3))
+        assert a == b
+
+    def test_count_validated(self):
+        brand = default_brand_catalog().get("Nike")
+        with pytest.raises(ValueError):
+            generate_products(brand, 0, RandomStreams(1))
+
+    def test_unique_skus(self):
+        brand = default_brand_catalog().get("Uggs")
+        products = generate_products(brand, 40, RandomStreams(1))
+        assert len({p.sku for p in products}) == 40
+
+
+class TestPayments:
+    def test_three_banks(self):
+        network = default_payment_network()
+        assert len(network.banks) == 3
+        assert {b.country for b in network.banks} == {"CN", "KR"}
+
+    def test_assignment_stable(self):
+        network = default_payment_network()
+        streams = RandomStreams(1)
+        first = network.assign("store-1", streams)
+        again = network.assign("store-1", streams)
+        assert first is again
+
+    def test_bank_concentration(self):
+        """Most volume should clear through the two Chinese banks."""
+        network = default_payment_network()
+        streams = RandomStreams(2)
+        for i in range(300):
+            network.assign(f"s{i}", streams)
+        distribution = network.bank_distribution()
+        chinese = sum(v for k, v in distribution.items() if "Seoul" not in k)
+        assert chinese / 300 > 0.8
+
+    def test_merchant_id_stable_and_distinct(self):
+        network = default_payment_network()
+        processor = network.processors[0]
+        assert processor.merchant_id("a") == processor.merchant_id("a")
+        assert processor.merchant_id("a") != processor.merchant_id("b")
+
+    def test_processor_of_unassigned_raises(self):
+        with pytest.raises(KeyError):
+            default_payment_network().processor_of("ghost")
+
+
+def _store(day0, start=1000):
+    registry = DomainRegistry()
+    domain = registry.register("uggsvipmall.com", day0)
+    brand = default_brand_catalog().get("Uggs")
+    network = default_payment_network()
+    return Store(
+        store_id="c-uggs-0",
+        campaign="C",
+        vertical="Uggs",
+        brands=["Uggs"],
+        products=generate_products(brand, 6, RandomStreams(1)),
+        processor=network.assign("c-uggs-0", RandomStreams(1)),
+        first_domain=domain,
+        opened_on=day0,
+        order_number_start=start,
+    ), registry
+
+
+class TestStore:
+    def test_order_numbers_monotonic(self, day0):
+        store, _ = _store(day0)
+        numbers = [store.allocate_order_number(day0 + i) for i in range(20)]
+        assert numbers == sorted(numbers)
+        assert numbers[0] == 1001
+
+    def test_bulk_orders_advance_counter(self, day0):
+        store, _ = _store(day0)
+        store.record_orders(day0, 50)
+        assert store.next_order_preview == 1051
+        assert store.orders_created_on(day0) == 50
+
+    def test_negative_orders_rejected(self, day0):
+        store, _ = _store(day0)
+        with pytest.raises(ValueError):
+            store.record_orders(day0, -1)
+
+    def test_counter_survives_rotation(self, day0):
+        """The purchase-pair technique depends on this: rotations change the
+        domain, not the order sequence."""
+        store, registry = _store(day0)
+        store.record_orders(day0, 10)
+        new_domain = registry.register("uggstopshop.com", day0 + 5)
+        store.rotate_domain(new_domain, day0 + 5)
+        store.record_orders(day0 + 6, 5)
+        assert store.next_order_preview == 1016
+
+    def test_host_on_respects_tenures(self, day0):
+        store, registry = _store(day0)
+        new_domain = registry.register("second.com", day0 + 10)
+        store.rotate_domain(new_domain, day0 + 10)
+        assert store.host_on(day0 + 9) == "uggsvipmall.com"
+        assert store.host_on(day0 + 10) == "second.com"
+        assert store.host_on(day0 - 1) is None
+
+    def test_rotation_to_same_domain_rejected(self, day0):
+        store, _ = _store(day0)
+        with pytest.raises(ValueError):
+            store.rotate_domain(store.current_domain, day0 + 1)
+
+    def test_all_hosts(self, day0):
+        store, registry = _store(day0)
+        store.rotate_domain(registry.register("x2.com", day0 + 1), day0 + 1)
+        store.rotate_domain(registry.register("x3.com", day0 + 2), day0 + 2)
+        assert store.all_hosts() == ["uggsvipmall.com", "x2.com", "x3.com"]
+
+    def test_is_seized_on(self, day0):
+        store, _ = _store(day0)
+        store.current_domain.seize(
+            SeizureRecord(day=day0 + 3, case_id="c", firm="GBC", brand="Uggs")
+        )
+        assert not store.is_seized_on(day0 + 2)
+        assert store.is_seized_on(day0 + 3)
+
+    def test_build_site_requires_factory(self, day0):
+        store, _ = _store(day0)
+        with pytest.raises(RuntimeError):
+            store.build_site(day0)
+
+    def test_store_requires_brand(self, day0):
+        registry = DomainRegistry()
+        domain = registry.register("x.com", day0)
+        with pytest.raises(ValueError):
+            Store(
+                store_id="s", campaign="c", vertical="v", brands=[],
+                products=[], processor=None, first_domain=domain, opened_on=day0,
+            )
+
+
+class TestVisitLogAndAwstats:
+    def test_record_and_aggregate(self, day0):
+        log = VisitLog()
+        from collections import Counter
+        log.record(day0, 100, 560, "s.com", Counter({"d1.com": 60}), Counter({"US": 70}))
+        log.record(day0 + 1, 50, 280, "s.com", Counter({"d2.com": 30}))
+        report = awstats_for(log, "s.com", day0, day0 + 10)
+        assert report.total_visits == 150
+        assert report.pages_per_visit == pytest.approx(5.6)
+        assert report.visits_with_referrer == 90
+        assert report.referrer_fraction == pytest.approx(0.6)
+        assert report.referrer_hosts["d1.com"] == 60
+        assert report.countries["US"] == 70
+
+    def test_window_excludes_outside_days(self, day0):
+        log = VisitLog()
+        log.record(day0, 10, 50, "s.com")
+        log.record(day0 + 30, 99, 500, "s.com")
+        report = awstats_for(log, "s.com", day0, day0 + 10)
+        assert report.total_visits == 10
+
+    def test_reversed_window_rejected(self, day0):
+        with pytest.raises(ValueError):
+            awstats_for(VisitLog(), "s.com", day0 + 1, day0)
+
+    def test_negative_traffic_rejected(self, day0):
+        with pytest.raises(ValueError):
+            VisitLog().record(day0, -1, 0, "s.com")
+
+    def test_geo_mix_validated(self, streams):
+        with pytest.raises(ValueError):
+            GeoModel(streams, mix=(("US", 0.5),))
+
+    def test_geo_sampling_counts(self, streams):
+        geo = GeoModel(streams)
+        counts = geo.sample_countries("s", 1000)
+        assert sum(counts.values()) == 1000
+        assert counts["US"] > counts.get("KR", 0)
+
+
+class TestSupplier:
+    def _supplier(self, day0, orders=3000):
+        supplier = Supplier("lux", RandomStreams(4), ["MSVALIDATE"])
+        supplier.fulfill_orders("MSVALIDATE", day0, orders)
+        return supplier
+
+    def test_only_partners_accepted(self, day0):
+        supplier = Supplier("lux", RandomStreams(4), ["MSVALIDATE"])
+        with pytest.raises(ValueError):
+            supplier.fulfill_orders("KEY", day0, 1)
+
+    def test_bulk_lookup_capped_at_20(self, day0):
+        supplier = self._supplier(day0, 30)
+        with pytest.raises(ValueError):
+            supplier.lookup(list(range(25)))
+
+    def test_scrape_recovers_every_record(self, day0):
+        supplier = self._supplier(day0, 500)
+        scraped = supplier.scrape_all()
+        assert len(scraped) == supplier.record_count() == 500
+
+    def test_status_mix_matches_paper_shape(self, day0):
+        """Section 4.5: ~92% delivered, destination seizures > source
+        seizures, returns rare."""
+        summary = supplier_summary(self._supplier(day0, 20_000).scrape_all())
+        assert summary.delivery_rate > 0.88
+        assert summary.seized_at_destination > summary.seized_at_source
+        assert summary.returned < summary.total_records * 0.02
+
+    def test_destination_mix(self, day0):
+        summary = supplier_summary(self._supplier(day0, 20_000).scrape_all())
+        assert summary.top_regions_fraction > 0.75
+        assert summary.by_destination["US"] > summary.by_destination["JP"]
+        assert summary.by_destination["JP"] > summary.by_destination["AU"]

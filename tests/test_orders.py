@@ -1,0 +1,108 @@
+"""Tests for the purchase-pair order-volume estimation."""
+
+import pytest
+
+from repro.util.simtime import SimDate
+from repro.orders import OrderPolicy, OrderSample, OrderVolumeSeries
+
+
+def _samples(day0, pairs):
+    return [OrderSample(day=day0 + d, order_number=n) for d, n in pairs]
+
+
+class TestOrderVolumeSeries:
+    def test_total_orders_created(self, day0):
+        series = OrderVolumeSeries(_samples(day0, [(0, 1000), (7, 1070), (14, 1200)]))
+        assert series.total_orders_created() == 200
+
+    def test_daily_rates(self, day0):
+        series = OrderVolumeSeries(_samples(day0, [(0, 1000), (10, 1100)]))
+        rates = series.daily_rates()
+        assert rates[day0.ordinal] == pytest.approx(10.0)
+        assert len(rates) == 10
+
+    def test_rate_histogram_weekly(self, day0):
+        series = OrderVolumeSeries(_samples(day0, [(0, 0), (7, 70), (14, 210)]))
+        bins = series.rate_histogram(bin_days=7)
+        assert len(bins) == 2
+        assert bins[0][1] == pytest.approx(10.0)
+        assert bins[1][1] == pytest.approx(20.0)
+
+    def test_peak_daily_rate(self, day0):
+        series = OrderVolumeSeries(_samples(day0, [(0, 0), (7, 7), (14, 147)]))
+        assert series.peak_daily_rate() == pytest.approx(20.0)
+
+    def test_sorted_regardless_of_input_order(self, day0):
+        series = OrderVolumeSeries(
+            [OrderSample(day0 + 7, 50), OrderSample(day0, 10)]
+        )
+        assert series.samples[0].order_number == 10
+
+    def test_insufficient_samples(self, day0):
+        assert OrderVolumeSeries(_samples(day0, [(0, 5)])).total_orders_created() == 0
+        assert OrderVolumeSeries([]).daily_rates() == {}
+
+    def test_interpolated_volume(self, day0):
+        series = OrderVolumeSeries(_samples(day0, [(0, 0), (10, 100)]))
+        values = series.interpolated_volume([day0.ordinal + 5])
+        assert values == [50.0]
+
+
+class TestTestOrdererIntegration:
+    """Against the session study's real orderer."""
+
+    def test_orders_created(self, study):
+        assert study.orderer.total_orders_created > 0
+        assert study.orderer.tracked_with_samples()
+
+    def test_samples_monotonic_per_store(self, study):
+        for tracked in study.orderer.tracked.values():
+            numbers = [s.order_number for s in tracked.samples]
+            assert numbers == sorted(numbers), tracked.key
+
+    def test_sampling_cadence_at_least_weekly(self, study):
+        interval = study.orderer.policy.sample_interval_days
+        for tracked in study.orderer.tracked_with_samples():
+            days = [s.day.ordinal for s in tracked.samples]
+            gaps = [b - a for a, b in zip(days, days[1:])]
+            assert all(gap >= interval for gap in gaps), tracked.key
+
+    def test_volume_upper_bounds_ground_truth_sales(self, study):
+        """Purchase-pair estimates bound orders created, which in turn
+        exceed completed sales (Section 4.3.1)."""
+        for tracked in study.orderer.tracked_with_samples(minimum=3):
+            store = study.world.store_at(tracked.key)
+            if store is None:
+                continue
+            series = OrderVolumeSeries(tracked.samples)
+            first = series.samples[0]
+            last = series.samples[-1]
+            true_created = sum(
+                store.orders_created_on(SimDate(d))
+                for d in range(first.day.ordinal, last.day.ordinal + 1)
+            )
+            estimated = series.total_orders_created()
+            # The estimate includes the test orders themselves plus real
+            # customers; it can never undercount by more than the sampling
+            # boundary effects.
+            assert estimated >= true_created * 0.5 - 5
+
+    def test_rotation_followed(self, study):
+        """At least one tracked store should have been re-resolved onto a
+        new domain (BIGLOVE rotates proactively in the small preset)."""
+        moved = [t for t in study.orderer.tracked.values() if len(t.hosts_seen) > 1]
+        assert moved
+        for tracked in moved:
+            assert len(set(tracked.hosts_seen)) == len(tracked.hosts_seen)
+
+    def test_daily_cap_respected(self, study):
+        """No more than max_orders_per_day_per_campaign samples per group
+        per calendar day."""
+        per_day = {}
+        cap = study.orderer.policy.max_orders_per_day_per_campaign
+        for tracked in study.orderer.tracked.values():
+            group = study.orderer.campaign_of_host(tracked.key)
+            for sample in tracked.samples:
+                key = (group, sample.day.ordinal)
+                per_day[key] = per_day.get(key, 0) + 1
+        assert max(per_day.values(), default=0) <= cap

@@ -1,0 +1,79 @@
+"""Tests for text rendering: tables, sparklines, CSV series."""
+
+import pytest
+
+from repro.reporting import render_table, series_to_csv, sparkline, sparkline_row, stacked_to_csv
+from repro.util.simtime import SimDate
+
+
+class TestRenderTable:
+    def test_alignment_and_structure(self):
+        out = render_table(["name", "count"], [["alpha", 12], ["b", 3]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", "+"}
+
+    def test_numbers_formatted_with_separators(self):
+        out = render_table(["n"], [[1234567]])
+        assert "1,234,567" in out
+
+    def test_floats_two_decimals(self):
+        out = render_table(["f"], [[3.14159]])
+        assert "3.14" in out
+
+    def test_title(self):
+        out = render_table(["a"], [[1]], title="Table 1")
+        assert out.splitlines()[0] == "Table 1"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+
+class TestSparkline:
+    def test_length_capped(self):
+        assert len(sparkline(list(range(400)), width=40)) == 40
+
+    def test_short_series_not_padded(self):
+        assert len(sparkline([1, 2, 3], width=40)) == 3
+
+    def test_monotone_series_monotone_bars(self):
+        line = sparkline([0, 1, 2, 3], width=4)
+        assert line == "".join(sorted(line))
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            sparkline([1], width=0)
+
+    def test_row_includes_extremes_as_percent(self):
+        row = sparkline_row("Uggs", [0.01, 0.38], width=10)
+        assert "Uggs" in row
+        assert " 1.00" in row
+        assert "38.00" in row
+
+
+class TestCsv:
+    def test_series_to_csv(self):
+        day = SimDate("2014-01-01")
+        csv = series_to_csv({day.ordinal: 3.5, (day + 1).ordinal: 4.0}, "psrs")
+        lines = csv.strip().splitlines()
+        assert lines[0] == "date,psrs"
+        assert lines[1].startswith("2014-01-01,")
+
+    def test_stacked_to_csv(self):
+        day = SimDate("2014-01-01")
+        csv = stacked_to_csv([day.ordinal], {"key": [0.5], "misc": [0.1]})
+        lines = csv.strip().splitlines()
+        assert lines[0] == "date,key,misc"
+        assert lines[1] == "2014-01-01,0.500000,0.100000"
+
+    def test_stacked_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            stacked_to_csv([1, 2], {"a": [0.5]})

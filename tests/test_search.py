@@ -1,0 +1,241 @@
+"""Tests for the search engine: verticals, index, ranking, SERPs, CTR."""
+
+import pytest
+
+from repro.util.rng import RandomStreams
+from repro.util.simtime import SimDate
+from repro.web.domains import DomainRegistry
+from repro.web.sites import Site, SiteKind
+from repro.search import (
+    ClickModel,
+    IndexedEntry,
+    QueryVolumeModel,
+    RankingModel,
+    ResultLabel,
+    SearchEngine,
+    SearchIndex,
+    Vertical,
+)
+from repro.search.query import generate_terms, make_vertical
+from repro.search.serp import SearchResult
+
+
+@pytest.fixture()
+def registry(day0):
+    return DomainRegistry()
+
+
+def _site(registry, name, authority, day0):
+    domain = registry.register(name, day0)
+    return Site(domain, SiteKind.LEGITIMATE, authority=authority, created_on=day0)
+
+
+@pytest.fixture()
+def index(registry, day0):
+    index = SearchIndex()
+    for i in range(30):
+        site = _site(registry, f"legit{i}.com", 0.3 + 0.02 * i, day0)
+        index.add_page("cheap uggs", site, "/", relevance=0.5 + 0.01 * i)
+    return index
+
+
+class TestVerticals:
+    def test_generate_terms_unique_and_sized(self, streams):
+        terms = generate_terms("Uggs", ["Uggs"], 20, streams)
+        assert len(terms) == 20
+        assert len(set(terms)) == 20
+        assert all("uggs" in t for t in terms)
+
+    def test_generate_terms_deterministic(self):
+        a = generate_terms("Uggs", ["Uggs"], 15, RandomStreams(5))
+        b = generate_terms("Uggs", ["Uggs"], 15, RandomStreams(5))
+        assert a == b
+
+    def test_too_many_terms_raises(self, streams):
+        with pytest.raises(ValueError):
+            generate_terms("X", ["X"], 10_000, streams)
+
+    def test_composite_vertical(self, streams):
+        vertical = make_vertical("Golf", ["TaylorMade", "Callaway"], 12, streams,
+                                 composite=True)
+        assert vertical.composite
+        assert len(vertical.terms) == 12
+
+    def test_vertical_requires_brands(self):
+        with pytest.raises(ValueError):
+            Vertical(name="X", brands=[])
+
+    def test_vertical_duplicate_terms_rejected(self):
+        with pytest.raises(ValueError):
+            Vertical(name="X", brands=["X"], terms=["a", "a"])
+
+
+class TestQueryVolume:
+    def test_volume_positive_and_bounded(self, streams):
+        model = QueryVolumeModel(streams)
+        for term in ("a", "b", "c"):
+            base = model.base_volume(term)
+            assert model.base_min <= base <= model.base_max
+
+    def test_volume_stable_per_term(self, streams, day0):
+        model = QueryVolumeModel(streams)
+        assert model.volume("t", day0) == model.volume("t", day0)
+
+    def test_weekend_boost(self, streams):
+        model = QueryVolumeModel(streams)
+        saturday = SimDate("2013-11-16")
+        monday = SimDate("2013-11-18")
+        assert model.volume("t", saturday) > model.volume("t", monday)
+
+
+class TestIndex:
+    def test_candidates(self, index):
+        assert len(index.candidates("cheap uggs")) == 30
+        assert index.candidates("unknown term") == []
+
+    def test_remove_host(self, index):
+        removed = index.remove_host("legit0.com")
+        assert removed == 1
+        assert all(e.host != "legit0.com" for e in index.candidates("cheap uggs"))
+
+    def test_entries_for_host(self, index):
+        assert len(index.entries_for_host("legit3.com")) == 1
+
+    def test_len(self, index):
+        assert len(index) == 30
+
+
+class TestEngine:
+    def test_serp_deterministic(self, index, streams, day0):
+        engine = SearchEngine(index, streams, serp_size=20)
+        a = [r.url for r in engine.serp("cheap uggs", day0)]
+        b = [r.url for r in engine.serp("cheap uggs", day0)]
+        assert a == b
+
+    def test_serp_varies_by_day(self, index, streams, day0):
+        engine = SearchEngine(index, streams, serp_size=20)
+        a = [r.url for r in engine.serp("cheap uggs", day0)]
+        b = [r.url for r in engine.serp("cheap uggs", day0 + 1)]
+        assert a != b  # ranking noise differs day to day
+
+    def test_ranks_sequential_from_one(self, index, streams, day0):
+        serp = SearchEngine(index, streams, serp_size=10).serp("cheap uggs", day0)
+        assert [r.rank for r in serp.results] == list(range(1, 11))
+
+    def test_stronger_sites_rank_higher_on_average(self, registry, streams, day0):
+        index = SearchIndex()
+        weak = _site(registry, "weak.com", 0.1, day0)
+        strong = _site(registry, "strong.com", 0.95, day0)
+        index.add_page("t", weak, "/", relevance=0.5)
+        index.add_page("t", strong, "/", relevance=0.5)
+        engine = SearchEngine(index, streams)
+        wins = sum(
+            1 for d in range(50)
+            if engine.serp("t", day0 + d).results[0].host == "strong.com"
+        )
+        assert wins > 45
+
+    def test_seo_signal_lifts_rank(self, registry, streams, day0):
+        index = SearchIndex()
+        for i in range(20):
+            index.add_page("t", _site(registry, f"l{i}.com", 0.6, day0), "/", 0.6)
+        doorway = _site(registry, "doorway.com", 0.3, day0)
+        index.add_page("t", doorway, "/d.html", 0.8, seo_signal=lambda day: 1.2)
+        engine = SearchEngine(index, streams)
+        serp = engine.serp("t", day0)
+        rank = next(r.rank for r in serp.results if r.host == "doorway.com")
+        assert rank <= 3
+
+    def test_indexed_on_gates_entry(self, registry, streams, day0):
+        index = SearchIndex()
+        index.add_page("t", _site(registry, "old.com", 0.5, day0), "/", 0.5)
+        index.add_page("t", _site(registry, "new.com", 0.9, day0), "/", 0.9,
+                       indexed_on=day0 + 10)
+        engine = SearchEngine(index, streams)
+        assert "new.com" not in engine.serp("t", day0).hosts()
+        assert "new.com" in engine.serp("t", day0 + 10).hosts()
+
+    def test_demotion_pushes_out(self, index, streams, day0):
+        engine = SearchEngine(index, streams, serp_size=10)
+        target = engine.serp("cheap uggs", day0).results[0].host
+        engine.demote_host(target, day0 + 1, amount=5.0)
+        assert target in engine.serp("cheap uggs", day0).hosts()  # before
+        assert target not in engine.serp("cheap uggs", day0 + 1).hosts()
+
+    def test_demotion_not_weakened(self, index, streams, day0):
+        engine = SearchEngine(index, streams)
+        engine.demote_host("x.com", day0, 2.0)
+        engine.demote_host("x.com", day0 + 1, 0.5)
+        assert engine.penalty_of("x.com", day0 + 2) == 2.0
+
+    def test_deindex_removes_everywhere(self, index, streams, day0):
+        engine = SearchEngine(index, streams)
+        host = engine.serp("cheap uggs", day0).results[0].host
+        assert engine.deindex_host(host) == 1
+        assert host not in engine.serp("cheap uggs", day0).hosts()
+
+    def test_host_result_cap(self, registry, streams, day0):
+        index = SearchIndex()
+        big = _site(registry, "big.com", 0.9, day0)
+        for i in range(5):
+            index.add_page("t", big, f"/p{i}.html", 0.9)
+        for i in range(10):
+            index.add_page("t", _site(registry, f"s{i}.com", 0.5, day0), "/", 0.5)
+        engine = SearchEngine(index, streams, max_results_per_host=2)
+        hosts = engine.serp("t", day0).hosts()
+        assert hosts.count("big.com") == 2
+
+    def test_hacked_label_root_only(self, registry, streams, day0):
+        index = SearchIndex()
+        site = _site(registry, "hacked.com", 0.9, day0)
+        index.add_page("t", site, "/", 0.9)
+        index.add_page("t", site, "/sub.html", 0.9)
+        engine = SearchEngine(index, streams, label_root_only=True)
+        engine.label_host("hacked.com", day0, ResultLabel.HACKED)
+        serp = engine.serp("t", day0)
+        by_path = {r.path: r.label for r in serp.results if r.host == "hacked.com"}
+        assert by_path["/"] is ResultLabel.HACKED
+        assert by_path["/sub.html"] is ResultLabel.NONE
+
+    def test_hacked_label_full_when_policy_lifted(self, registry, streams, day0):
+        index = SearchIndex()
+        site = _site(registry, "hacked.com", 0.9, day0)
+        index.add_page("t", site, "/sub.html", 0.9)
+        engine = SearchEngine(index, streams, label_root_only=False)
+        engine.label_host("hacked.com", day0, ResultLabel.HACKED)
+        result = engine.serp("t", day0).results[0]
+        assert result.label is ResultLabel.HACKED
+
+    def test_label_not_retroactive(self, registry, streams, day0):
+        index = SearchIndex()
+        index.add_page("t", _site(registry, "h.com", 0.9, day0), "/", 0.9)
+        engine = SearchEngine(index, streams)
+        engine.label_host("h.com", day0 + 5, ResultLabel.HACKED)
+        assert engine.serp("t", day0).results[0].label is ResultLabel.NONE
+
+
+class TestClickModel:
+    def test_ctr_decreasing(self):
+        model = ClickModel()
+        ctrs = [model.ctr(r) for r in range(1, 101)]
+        assert all(a >= b for a, b in zip(ctrs, ctrs[1:]))
+
+    def test_rank_one_largest(self):
+        model = ClickModel()
+        assert model.ctr(1) == pytest.approx(0.28)
+
+    def test_tail_positive(self):
+        assert ClickModel().ctr(100) > 0
+
+    def test_bad_rank_raises(self):
+        with pytest.raises(ValueError):
+            ClickModel().ctr(0)
+
+    def test_label_multipliers(self):
+        model = ClickModel()
+        plain = SearchResult(rank=1, url="u", host="h", path="/")
+        hacked = SearchResult(rank=1, url="u", host="h", path="/", label=ResultLabel.HACKED)
+        malware = SearchResult(rank=1, url="u", host="h", path="/", label=ResultLabel.MALWARE)
+        v = 1000.0
+        assert model.expected_clicks(plain, v) > model.expected_clicks(hacked, v)
+        assert model.expected_clicks(malware, v) < model.expected_clicks(hacked, v) * 0.1

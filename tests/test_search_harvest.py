@@ -1,0 +1,73 @@
+"""Tests for site: queries and doorway keyword harvesting (Section 4.1.1's
+kit-keyword term-selection method)."""
+
+import pytest
+
+from repro.search import harvest_terms_from_host, harvest_terms_from_hosts, term_from_url
+from repro.ecosystem import Simulator, small_preset
+
+
+class TestTermFromUrl:
+    def test_slug_path(self):
+        assert term_from_url("http://d.com/cheap-uggs-boots-12.html") == "cheap uggs boots"
+
+    def test_slug_without_counter(self):
+        assert term_from_url("http://d.com/uggs-outlet.html") == "uggs outlet"
+
+    def test_key_query_form(self):
+        assert term_from_url("http://d.com/?key=cheap+beats+by+dre") == "cheap beats by dre"
+
+    def test_non_keyword_url(self):
+        assert term_from_url("http://d.com/about.html") == "about"
+        assert term_from_url("http://d.com/") == ""
+
+
+@pytest.fixture(scope="module")
+def harvested_world():
+    sim = Simulator(small_preset(days=60))
+    return sim.run()
+
+
+class TestSiteQueryHarvest:
+    def test_site_query_lists_indexed_urls(self, harvested_world):
+        world = harvested_world
+        doorway = world.campaigns()[0].doorways[0]
+        urls = world.engine.site_query(doorway.host, world.window.end)
+        assert urls
+        assert all(doorway.host in u for u in urls)
+
+    def test_site_query_respects_indexing_day(self, harvested_world):
+        world = harvested_world
+        doorway = world.campaigns()[0].doorways[0]
+        before = world.engine.site_query(doorway.host, doorway.created_on - 1)
+        assert before == []
+
+    def test_harvest_recovers_targeted_terms(self, harvested_world):
+        """The paper's keyword extraction: URL slugs encode the exact terms
+        the doorway targets."""
+        world = harvested_world
+        for campaign in world.campaigns():
+            for doorway in campaign.doorways[:3]:
+                harvested = set(
+                    harvest_terms_from_host(world.engine, doorway.host, world.window.end)
+                )
+                targeted = {p.term for p in doorway.pages if p.path != "/"}
+                assert targeted <= harvested | {""}
+                # Harvest should not invent unrelated terms beyond the root.
+                assert harvested <= targeted | {p.term for p in doorway.pages}
+
+    def test_harvest_across_hosts_unions(self, harvested_world):
+        world = harvested_world
+        campaign = world.campaigns()[0]
+        hosts = [d.host for d in campaign.doorways[:4]]
+        pooled = harvest_terms_from_hosts(world.engine, hosts, world.window.end)
+        assert pooled == sorted(set(pooled))
+        singles = set()
+        for host in hosts:
+            singles.update(harvest_terms_from_host(world.engine, host, world.window.end))
+        assert set(pooled) == singles
+
+    def test_unknown_host_empty(self, harvested_world):
+        assert harvest_terms_from_host(
+            harvested_world.engine, "ghost.example", harvested_world.window.end
+        ) == []

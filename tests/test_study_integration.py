@@ -1,0 +1,127 @@
+"""End-to-end behavioural assertions: the headline findings of the paper
+must hold in the reproduced pipeline (direction and rough shape)."""
+
+import pytest
+
+from repro.util.simtime import SimDate
+from repro.analysis import (
+    DailyAggregates,
+    campaign_figure4,
+    label_coverage,
+    rotation_reactions,
+    seized_store_lifetimes,
+    supplier_summary,
+)
+
+
+class TestHeadlineFindings:
+    def test_key_demotion_collapses_key_psrs(self, study):
+        """Section 5.2.1: KEY's PSRs drop precipitously after the scripted
+        penalization, and orders follow."""
+        demotion = next(
+            e for e in study.world.events.of_kind(study.world.events.DEMOTION)
+            if e.payload["campaign"] == "KEY"
+        )
+        aggregates = DailyAggregates(study.dataset)
+        series = aggregates.campaign_series("KEY")
+        before = [v for d, v in series.items() if d < demotion.day.ordinal]
+        after = [v for d, v in series.items() if d > demotion.day.ordinal + 7]
+        assert before, "KEY never visible before demotion"
+        mean_before = sum(before) / len(before)
+        mean_after = sum(after) / len(after) if after else 0.0
+        assert mean_after < mean_before * 0.25
+
+    def test_key_orders_stop_after_demotion(self, study):
+        demotion = next(
+            e for e in study.world.events.of_kind(study.world.events.DEMOTION)
+            if e.payload["campaign"] == "KEY"
+        )
+        key = study.world.campaign_by_name("KEY")
+        window = study.world.window
+        before = after = 0
+        for store in key.stores:
+            for offset in range(len(window)):
+                day = window.start + offset
+                orders = store.orders_created_on(day)
+                if day < demotion.day:
+                    before += orders
+                elif day > demotion.day + 7:
+                    after += orders
+        days_before = demotion.day - window.start
+        days_after = window.end - demotion.day - 7
+        if days_before > 0 and days_after > 0 and before > 0:
+            rate_before = before / days_before
+            rate_after = after / days_after
+            assert rate_after < rate_before * 0.5
+
+    def test_psr_visibility_correlates_with_orders(self, study):
+        """Figure 4's core claim: order rates track PSR prevalence."""
+        correlations = []
+        for campaign in ("MSVALIDATE", "BIGLOVE", "PHP?P="):
+            panel = campaign_figure4(study.dataset, study.orderer, campaign)
+            if panel.rate_bins and panel.top100_series:
+                correlations.append(panel.visibility_order_correlation)
+        assert correlations
+        # Most campaigns show a clear positive relationship.
+        positive = [c for c in correlations if c > 0.2]
+        assert len(positive) >= max(1, len(correlations) // 2)
+
+    def test_seizure_reaction_is_fast(self, study):
+        """Section 5.3.2: campaigns redirect doorways to backups within
+        days of a seizure, not weeks."""
+        stats = rotation_reactions(study.dataset)
+        if not any(s.redirected_stores for s in stats):
+            pytest.skip("no observed post-seizure redirects in window")
+        for s in stats:
+            if s.redirected_stores:
+                assert s.mean_reaction_days <= 21
+
+    def test_seizures_cover_small_fraction_of_stores(self, study):
+        """Section 5.3.1: seizures touch only a few percent of stores, so
+        the ecosystem keeps operating."""
+        all_stores = study.dataset.store_hosts()
+        seized = {
+            r.landing_host for r in study.dataset.records if r.seizure_case
+        }
+        assert len(seized) < len(all_stores)
+
+    def test_label_coverage_is_low(self, study):
+        """Section 5.2.2: the 'hacked' label reaches only a small share of
+        PSRs (paper: 2.5%)."""
+        coverage = label_coverage(study.dataset).coverage
+        assert coverage < 0.15
+
+    def test_unknown_share_exists(self, study):
+        """Roughly the paper's split: a substantial minority of PSRs cannot
+        be attributed (they belong to unlabeled campaigns)."""
+        unattributed = sum(1 for r in study.dataset.records if not r.campaign)
+        assert 0 < unattributed < len(study.dataset)
+
+    def test_supplier_shape(self, study):
+        summary = supplier_summary(study.supplier.scrape_all())
+        assert summary.total_records > 0
+        assert summary.delivery_rate > 0.85
+        assert summary.top_regions_fraction > 0.7
+
+
+class TestStudyRunApi:
+    def test_results_wired(self, study):
+        assert study.dataset is study.crawler.dataset
+        assert study.archive is study.crawler.archive
+        assert study.classifier is not None
+        assert study.attribution is not None
+        assert study.labeled_pages
+
+    def test_order_campaign_hints_follow_attribution(self, study):
+        for tracked in study.orderer.tracked.values():
+            if tracked.campaign_hint:
+                assert tracked.campaign_hint in study.classifier.classes
+
+    def test_classify_can_be_disabled(self):
+        from repro import StudyRun
+        from repro.ecosystem import small_preset
+
+        results = StudyRun(small_preset(days=30), classify=False).execute()
+        assert results.classifier is None
+        assert results.attribution is None
+        assert all(not r.campaign for r in results.dataset.records)

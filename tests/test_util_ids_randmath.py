@@ -1,0 +1,120 @@
+"""Tests for id allocation, slugs, and random-variate helpers."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.ids import IdAllocator, slugify
+from repro.util.randmath import binomial, poisson
+
+
+class TestSlugify:
+    def test_basic(self):
+        assert slugify("Beats By Dre") == "beats-by-dre"
+
+    def test_punctuation(self):
+        assert slugify("PHP?P=") == "php-p"
+
+    def test_never_empty(self):
+        assert slugify("???") == "x"
+
+    @given(st.text(max_size=50))
+    def test_output_is_url_safe(self, text):
+        slug = slugify(text)
+        assert slug
+        assert all(c.isalnum() or c == "-" for c in slug)
+        assert not slug.startswith("-") and not slug.endswith("-")
+
+
+class TestIdAllocator:
+    def test_first_id_is_one(self):
+        ids = IdAllocator()
+        assert ids.next("orders") == 1
+
+    def test_monotonic(self):
+        ids = IdAllocator()
+        values = [ids.next("n") for _ in range(100)]
+        assert values == sorted(values)
+        assert len(set(values)) == 100
+
+    def test_namespaces_independent(self):
+        ids = IdAllocator()
+        ids.next("a")
+        ids.next("a")
+        assert ids.next("b") == 1
+
+    def test_seed(self):
+        ids = IdAllocator()
+        ids.seed("orders", 1000)
+        assert ids.next("orders") == 1001
+
+    def test_seed_cannot_rewind(self):
+        ids = IdAllocator()
+        ids.seed("orders", 1000)
+        ids.next("orders")
+        with pytest.raises(ValueError):
+            ids.seed("orders", 50)
+
+    def test_peek_does_not_allocate(self):
+        ids = IdAllocator()
+        ids.next("x")
+        assert ids.peek("x") == 1
+        assert ids.peek("x") == 1
+
+
+class TestBinomial:
+    def test_zero_n(self):
+        assert binomial(random.Random(0), 0, 0.5) == 0
+
+    def test_p_zero(self):
+        assert binomial(random.Random(0), 100, 0.0) == 0
+
+    def test_p_one(self):
+        assert binomial(random.Random(0), 100, 1.0) == 100
+
+    def test_negative_n_raises(self):
+        with pytest.raises(ValueError):
+            binomial(random.Random(0), -1, 0.5)
+
+    def test_bad_p_raises(self):
+        with pytest.raises(ValueError):
+            binomial(random.Random(0), 10, 1.5)
+
+    @given(st.integers(0, 500), st.floats(0.0, 1.0))
+    def test_within_range(self, n, p):
+        draw = binomial(random.Random(99), n, p)
+        assert 0 <= draw <= n
+
+    def test_mean_roughly_np_small(self):
+        rng = random.Random(5)
+        draws = [binomial(rng, 40, 0.25) for _ in range(2000)]
+        assert abs(sum(draws) / len(draws) - 10.0) < 0.5
+
+    def test_mean_roughly_np_large(self):
+        rng = random.Random(5)
+        draws = [binomial(rng, 10_000, 0.3) for _ in range(500)]
+        assert abs(sum(draws) / len(draws) - 3000) < 30
+
+
+class TestPoisson:
+    def test_zero_lambda(self):
+        assert poisson(random.Random(0), 0.0) == 0
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            poisson(random.Random(0), -1.0)
+
+    @given(st.floats(0.0, 200.0))
+    def test_nonnegative(self, lam):
+        assert poisson(random.Random(3), lam) >= 0
+
+    def test_mean_small_lambda(self):
+        rng = random.Random(5)
+        draws = [poisson(rng, 2.5) for _ in range(4000)]
+        assert abs(sum(draws) / len(draws) - 2.5) < 0.15
+
+    def test_mean_large_lambda(self):
+        rng = random.Random(5)
+        draws = [poisson(rng, 500.0) for _ in range(500)]
+        assert abs(sum(draws) / len(draws) - 500.0) < 6.0

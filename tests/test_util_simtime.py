@@ -1,0 +1,114 @@
+"""Tests for the simulation calendar."""
+
+import datetime
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.simtime import DateRange, SimDate, STUDY_END, STUDY_START
+
+
+class TestSimDate:
+    def test_from_iso_string(self):
+        day = SimDate("2013-11-13")
+        assert day.year == 2013
+        assert day.month == 11
+        assert day.day == 13
+
+    def test_from_date(self):
+        day = SimDate(datetime.date(2014, 7, 15))
+        assert day.isoformat() == "2014-07-15"
+
+    def test_from_ordinal_roundtrip(self):
+        day = SimDate("2014-01-01")
+        assert SimDate(day.ordinal) == day
+
+    def test_from_simdate_copies(self):
+        day = SimDate("2014-01-01")
+        assert SimDate(day) == day
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            SimDate(3.14)
+        with pytest.raises(ValueError):
+            SimDate("not-a-date")
+
+    def test_add_days(self):
+        assert SimDate("2013-12-31") + 1 == SimDate("2014-01-01")
+
+    def test_radd(self):
+        assert 1 + SimDate("2013-12-31") == SimDate("2014-01-01")
+
+    def test_subtract_simdate_gives_days(self):
+        assert SimDate("2014-01-10") - SimDate("2014-01-01") == 9
+
+    def test_subtract_int_gives_simdate(self):
+        assert SimDate("2014-01-10") - 9 == SimDate("2014-01-01")
+
+    def test_ordering(self):
+        assert SimDate("2013-11-13") < SimDate("2013-11-14")
+        assert SimDate("2013-11-14") >= SimDate("2013-11-13")
+
+    def test_hashable(self):
+        assert len({SimDate("2014-01-01"), SimDate("2014-01-01")}) == 1
+
+    def test_str_is_iso(self):
+        assert str(SimDate("2014-02-28")) == "2014-02-28"
+
+    @given(st.integers(min_value=1, max_value=3_000_000), st.integers(-500, 500))
+    def test_add_then_subtract_roundtrip(self, ordinal, delta):
+        day = SimDate(ordinal)
+        assert (day + delta) - day == delta
+
+
+class TestDateRange:
+    def test_length_inclusive(self):
+        window = DateRange("2014-01-01", "2014-01-10")
+        assert len(window) == 10
+
+    def test_study_window_is_245_days(self):
+        assert len(DateRange(STUDY_START, STUDY_END)) == 245
+
+    def test_contains(self):
+        window = DateRange("2014-01-01", "2014-01-10")
+        assert SimDate("2014-01-05") in window
+        assert SimDate("2014-01-11") not in window
+
+    def test_rejects_reversed(self):
+        with pytest.raises(ValueError):
+            DateRange("2014-01-10", "2014-01-01")
+
+    def test_iteration_yields_every_day(self):
+        window = DateRange("2014-01-01", "2014-01-05")
+        days = list(window)
+        assert len(days) == 5
+        assert days[0] == window.start
+        assert days[-1] == window.end
+
+    def test_stride(self):
+        window = DateRange("2014-01-01", "2014-01-10")
+        days = list(window.days(stride=3))
+        assert [d.day for d in days] == [1, 4, 7, 10]
+
+    def test_stride_rejects_zero(self):
+        with pytest.raises(ValueError):
+            list(DateRange("2014-01-01", "2014-01-02").days(stride=0))
+
+    def test_clip(self):
+        window = DateRange("2014-01-05", "2014-01-10")
+        assert window.clip("2014-01-01") == window.start
+        assert window.clip("2014-02-01") == window.end
+        assert window.clip("2014-01-07") == SimDate("2014-01-07")
+
+    def test_offset_of(self):
+        window = DateRange("2014-01-01", "2014-01-10")
+        assert window.offset_of("2014-01-01") == 0
+        assert window.offset_of("2014-01-10") == 9
+
+    def test_offset_of_outside_raises(self):
+        window = DateRange("2014-01-01", "2014-01-10")
+        with pytest.raises(ValueError):
+            window.offset_of("2014-02-01")
+
+    def test_equality(self):
+        assert DateRange("2014-01-01", "2014-01-10") == DateRange("2014-01-01", "2014-01-10")

@@ -1,0 +1,163 @@
+"""Tests for the statistics helpers, including the paper-specific
+peak-range and purchase-pair rate computations."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.stats import (
+    clamp,
+    cumulative_to_rates,
+    linear_interpolate,
+    mean,
+    median,
+    peak_range,
+    percentile,
+)
+
+
+class TestBasics:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_median_odd(self):
+        assert median([5, 1, 3]) == 3
+
+    def test_median_even_interpolates(self):
+        assert median([1, 2, 3, 4]) == 2.5
+
+    def test_percentile_bounds(self):
+        values = list(range(11))
+        assert percentile(values, 0) == 0
+        assert percentile(values, 100) == 10
+        assert percentile(values, 50) == 5
+
+    def test_percentile_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    def test_clamp(self):
+        assert clamp(5, 0, 3) == 3
+        assert clamp(-1, 0, 3) == 0
+        assert clamp(2, 0, 3) == 2
+
+    def test_clamp_empty_interval_raises(self):
+        with pytest.raises(ValueError):
+            clamp(1, 3, 0)
+
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                              min_value=-1e6, max_value=1e6), min_size=1))
+    def test_percentile_within_minmax(self, values):
+        assert min(values) <= percentile(values, 37.5) <= max(values)
+
+
+class TestPeakRange:
+    def test_single_spike(self):
+        counts = [0, 0, 100, 0, 0]
+        assert peak_range(counts) == (2, 2)
+
+    def test_uniform_takes_minimum_span(self):
+        counts = [1] * 10
+        lo, hi = peak_range(counts, fraction=0.6)
+        assert hi - lo + 1 == 6
+
+    def test_burst_with_tail(self):
+        # The only 60% window of length three spans days 3-5.
+        counts = [0, 0, 0, 30, 5, 30, 0, 0, 0, 0]
+        lo, hi = peak_range(counts, fraction=0.6)
+        assert (lo, hi) == (3, 5)
+
+    def test_returns_a_minimal_window(self):
+        counts = [1, 1, 1, 20, 20, 20, 1, 1, 1, 1]
+        lo, hi = peak_range(counts, fraction=0.6)
+        target = 0.6 * sum(counts)
+        assert sum(counts[lo:hi + 1]) >= target
+        width = hi - lo + 1
+        # No strictly narrower window reaches the target.
+        for start in range(len(counts) - width + 2):
+            end = start + width - 2
+            if end < len(counts):
+                assert sum(counts[start:end + 1]) < target
+
+    def test_zero_total_raises(self):
+        with pytest.raises(ValueError):
+            peak_range([0, 0, 0])
+
+    def test_bad_fraction_raises(self):
+        with pytest.raises(ValueError):
+            peak_range([1], fraction=0.0)
+
+    @given(st.lists(st.floats(min_value=0, max_value=100), min_size=1).filter(
+        lambda xs: sum(xs) > 0))
+    def test_window_contains_fraction(self, counts):
+        lo, hi = peak_range(counts, fraction=0.6)
+        assert 0 <= lo <= hi < len(counts)
+        assert sum(counts[lo:hi + 1]) >= 0.6 * sum(counts) - 1e-9
+
+
+class TestInterpolation:
+    def test_exact_points(self):
+        samples = [(0, 0.0), (10, 100.0)]
+        assert linear_interpolate(samples, [0, 10]) == [0.0, 100.0]
+
+    def test_midpoint(self):
+        assert linear_interpolate([(0, 0.0), (10, 100.0)], [5]) == [50.0]
+
+    def test_clamps_outside_span(self):
+        samples = [(5, 10.0), (10, 20.0)]
+        assert linear_interpolate(samples, [0, 20]) == [10.0, 20.0]
+
+    def test_duplicate_x_raises(self):
+        with pytest.raises(ValueError):
+            linear_interpolate([(1, 1.0), (1, 2.0)], [1])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            linear_interpolate([], [1])
+
+
+class TestCumulativeToRates:
+    def test_simple_rate(self):
+        rates = cumulative_to_rates([(0, 100.0), (10, 200.0)])
+        assert rates[0] == 10.0
+        assert rates[9] == 10.0
+        assert 10 not in rates
+
+    def test_two_segments(self):
+        rates = cumulative_to_rates([(0, 0.0), (5, 50.0), (10, 60.0)])
+        assert rates[2] == 10.0
+        assert rates[7] == 2.0
+
+    def test_decreasing_counter_raises(self):
+        with pytest.raises(ValueError):
+            cumulative_to_rates([(0, 10.0), (5, 5.0)])
+
+    def test_duplicate_day_raises(self):
+        with pytest.raises(ValueError):
+            cumulative_to_rates([(3, 1.0), (3, 2.0)])
+
+    def test_single_sample_empty(self):
+        assert cumulative_to_rates([(0, 5.0)]) == {}
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 400), st.integers(0, 10_000)),
+            min_size=2, max_size=20, unique_by=lambda t: t[0],
+        )
+    )
+    def test_rates_reconstruct_total(self, raw):
+        """Summing day rates over each gap recovers the counter deltas."""
+        pts = sorted(raw)
+        # Make the counter monotone.
+        running = 0
+        samples = []
+        for (x, delta) in pts:
+            running += delta
+            samples.append((x, float(running)))
+        rates = cumulative_to_rates(samples)
+        total = sum(rates.values())
+        expected = samples[-1][1] - samples[0][1]
+        assert abs(total - expected) < 1e-6

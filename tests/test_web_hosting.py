@@ -1,0 +1,185 @@
+"""Tests for fetch semantics: redirects, seizure interception, profiles."""
+
+import pytest
+
+from repro.util.simtime import SimDate
+from repro.web.domains import DomainRegistry, SeizureRecord
+from repro.web.fetch import (
+    CRAWLER, PageResult, SEARCH_USER, USER, VisitorProfile,
+)
+from repro.web.hosting import FetchError, Web
+from repro.web.sites import DynamicPage, Site, SiteKind, StaticPage
+
+
+@pytest.fixture()
+def web(day0):
+    web = Web()
+    domain = web.domains.register("site.com", day0)
+    site = Site(domain, SiteKind.LEGITIMATE, authority=0.5, created_on=day0)
+    site.add_page(StaticPage("/", html="<html><body>home</body></html>"))
+    site.add_page(StaticPage("/about.html", html="<html><body>about</body></html>"))
+    web.add_site(site)
+    return web
+
+
+class TestVisitorProfiles:
+    def test_crawler_detected_by_user_agent(self):
+        assert CRAWLER.looks_like_crawler
+        assert not USER.looks_like_crawler
+
+    def test_crawler_detected_by_ip_prefix(self):
+        sneaky = VisitorProfile(user_agent="Mozilla/5.0", ip_address="66.249.1.2")
+        assert sneaky.looks_like_crawler
+
+    def test_via_search(self):
+        assert SEARCH_USER.via_search
+        assert not USER.via_search
+
+    def test_with_referrer(self):
+        p = USER.with_referrer("http://a.com/x")
+        assert p.referrer == "http://a.com/x"
+        assert USER.referrer == ""  # frozen original untouched
+
+
+class TestFetch:
+    def test_simple_fetch(self, web, day0):
+        response = web.fetch("http://site.com/", USER, day0)
+        assert response.ok
+        assert "home" in response.html
+
+    def test_missing_page_404(self, web, day0):
+        assert web.fetch("http://site.com/nope", USER, day0).status == 404
+
+    def test_unknown_host_404(self, web, day0):
+        assert web.fetch("http://ghost.com/", USER, day0).status == 404
+
+    def test_site_not_yet_created_404(self, web, day0):
+        domain = web.domains.register("future.com", day0)
+        site = Site(domain, SiteKind.STOREFRONT, created_on=day0 + 10)
+        site.add_page(StaticPage("/", html="<html></html>"))
+        web.add_site(site)
+        assert web.fetch("http://future.com/", USER, day0).status == 404
+        assert web.fetch("http://future.com/", USER, day0 + 10).ok
+
+    def test_malformed_url_raises(self, web, day0):
+        with pytest.raises(FetchError):
+            web.fetch("not-a-url", USER, day0)
+
+    def test_redirect_followed(self, web, day0):
+        domain = web.domains.register("redir.com", day0)
+        site = Site(domain, SiteKind.DEDICATED_DOORWAY, created_on=day0)
+        site.add_page(
+            DynamicPage("/", lambda p, d: PageResult(redirect_to="http://site.com/"))
+        )
+        web.add_site(site)
+        response = web.fetch("http://redir.com/", SEARCH_USER, day0)
+        assert response.ok
+        assert response.final_url == "http://site.com/"
+        assert response.redirect_chain == ["http://redir.com/", "http://site.com/"]
+        assert response.redirected
+
+    def test_redirect_sets_referrer(self, web, day0):
+        seen = {}
+
+        def responder(profile, day):
+            seen["referrer"] = profile.referrer
+            return PageResult(html="<html></html>")
+
+        domain = web.domains.register("hop.com", day0)
+        hop = Site(domain, SiteKind.DEDICATED_DOORWAY, created_on=day0)
+        hop.add_page(DynamicPage("/land", responder))
+        web.add_site(hop)
+        domain2 = web.domains.register("start.com", day0)
+        start = Site(domain2, SiteKind.DEDICATED_DOORWAY, created_on=day0)
+        start.add_page(
+            DynamicPage("/", lambda p, d: PageResult(redirect_to="http://hop.com/land"))
+        )
+        web.add_site(start)
+        web.fetch("http://start.com/", SEARCH_USER, day0)
+        assert seen["referrer"] == "http://start.com/"
+
+    def test_redirect_loop_stopped(self, web, day0):
+        domain = web.domains.register("loop.com", day0)
+        site = Site(domain, SiteKind.DEDICATED_DOORWAY, created_on=day0)
+        site.add_page(
+            DynamicPage("/", lambda p, d: PageResult(redirect_to="http://loop.com/"))
+        )
+        web.add_site(site)
+        response = web.fetch("http://loop.com/", USER, day0)
+        assert response.status == 508
+
+    def test_cookies_propagate(self, web, day0):
+        domain = web.domains.register("shop.com", day0)
+        site = Site(domain, SiteKind.STOREFRONT, created_on=day0)
+        site.add_page(StaticPage("/", html="<html></html>", cookies=("zenid",)))
+        web.add_site(site)
+        response = web.fetch("http://shop.com/", USER, day0)
+        assert "zenid" in response.cookies
+
+
+class TestSeizureInterception:
+    def test_seized_domain_serves_notice(self, web, day0):
+        domain = web.domains.get("site.com")
+        domain.seize(SeizureRecord(day=day0 + 5, case_id="14-cv-9", firm="GBC", brand="Uggs"))
+        before = web.fetch("http://site.com/", USER, day0 + 4)
+        assert "home" in before.html
+        after = web.fetch("http://site.com/", USER, day0 + 5)
+        assert "Seized" in after.html
+
+    def test_seizure_covers_all_paths(self, web, day0):
+        domain = web.domains.get("site.com")
+        domain.seize(SeizureRecord(day=day0, case_id="c", firm="GBC", brand="Uggs"))
+        response = web.fetch("http://site.com/about.html", USER, day0 + 1)
+        assert "Seized" in response.html
+
+    def test_seizure_without_notice_is_shutdown(self, web, day0):
+        domain = web.domains.get("site.com")
+        domain.seize(
+            SeizureRecord(day=day0, case_id="c", firm="GBC", brand="Uggs", shows_notice=False)
+        )
+        assert web.fetch("http://site.com/", USER, day0 + 1).status == 502
+
+    def test_custom_notice_builder(self, web, day0):
+        web.seizure_notice_builder = lambda host, day: PageResult(
+            html=f"<html><body>case for {host}</body></html>"
+        )
+        domain = web.domains.get("site.com")
+        domain.seize(SeizureRecord(day=day0, case_id="c", firm="GBC", brand="Uggs"))
+        response = web.fetch("http://site.com/", USER, day0)
+        assert "case for site.com" in response.html
+
+
+class TestSiteRegistry:
+    def test_duplicate_host_rejected(self, web, day0):
+        domain = web.domains.get("site.com")
+        with pytest.raises(ValueError):
+            web.add_site(Site(domain, SiteKind.LEGITIMATE))
+
+    def test_sites_by_kind(self, web):
+        assert len(web.sites(SiteKind.LEGITIMATE)) == 1
+        assert web.sites(SiteKind.STOREFRONT) == []
+
+    def test_duplicate_page_path_rejected(self, web, day0):
+        site = web.get_site("site.com")
+        with pytest.raises(ValueError):
+            site.add_page(StaticPage("/", html="<html></html>"))
+
+    def test_page_path_must_be_absolute(self):
+        with pytest.raises(ValueError):
+            StaticPage("relative", html="<html></html>")
+
+    def test_static_page_requires_content(self):
+        with pytest.raises(ValueError):
+            StaticPage("/x")
+
+    def test_static_page_lazy_generator_runs_once(self):
+        calls = []
+
+        def generate():
+            calls.append(1)
+            return "<html><body>gen</body></html>"
+
+        page = StaticPage("/x", generator=generate)
+        assert "gen" in page.html
+        assert "gen" in page.html
+        assert len(calls) == 1

@@ -1,0 +1,83 @@
+"""Tests for domain-name generation and the legitimate background web."""
+
+import pytest
+
+from repro.util.rng import RandomStreams
+from repro.util.simtime import SimDate
+from repro.web.hosting import Web
+from repro.web.naming import NameForge
+from repro.web.population import BackgroundWebBuilder
+from repro.web.sites import SiteKind
+from repro.web.fetch import CRAWLER, USER
+
+
+@pytest.fixture()
+def forge():
+    web = Web()
+    return NameForge(RandomStreams(3), web.domains), web
+
+
+class TestNameForge:
+    def test_store_domain_contains_brand_stem(self, forge):
+        forge, _ = forge
+        name = forge.store_domain("Louis Vuitton")
+        assert name.startswith("louisvuitton")
+        assert "." in name
+
+    def test_locale_tag_sometimes_included(self, forge):
+        forge, _ = forge
+        names = [forge.store_domain("Uggs", "uk") for _ in range(20)]
+        assert any("uk" in n for n in names)
+
+    def test_names_unique(self, forge):
+        forge, _ = forge
+        names = {forge.doorway_domain() for _ in range(500)}
+        assert len(names) == 500
+
+    def test_avoids_registry_collisions(self, day0):
+        web = Web()
+        forge = NameForge(RandomStreams(3), web.domains)
+        first = forge.legit_domain()
+        web.domains.register(first, day0)
+        # A new forge over the same registry must not hand out `first`.
+        fresh = NameForge(RandomStreams(3), web.domains)
+        assert fresh.legit_domain() != first
+
+    def test_cnc_domain_stem(self, forge):
+        forge, _ = forge
+        assert forge.cnc_domain("MSVALIDATE").startswith("msvalidate")
+
+
+class TestBackgroundWeb:
+    def _builder(self, day0):
+        web = Web()
+        streams = RandomStreams(4)
+        forge = NameForge(streams, web.domains)
+        return BackgroundWebBuilder(web, streams, forge, day0 - 365), web
+
+    def test_competitors_indexed_per_term(self, day0):
+        builder, web = self._builder(day0)
+        terms = ["cheap uggs", "uggs outlet", "uggs boots sale"]
+        pages = builder.build_competitors("Uggs", terms, site_count=20,
+                                          candidates_per_term=15)
+        assert len(web.sites(SiteKind.LEGITIMATE)) == 20
+        for term in terms:
+            covered = [p for p in pages if term in p.relevances]
+            assert len(covered) == 15
+            for spec in covered:
+                assert 0.0 < spec.relevances[term] <= 1.0
+
+    def test_legit_pages_do_not_cloak(self, day0):
+        builder, web = self._builder(day0)
+        builder.build_competitors("Uggs", ["cheap uggs"], 5, 5)
+        site = web.sites(SiteKind.LEGITIMATE)[0]
+        url = site.url("/")
+        assert web.fetch(url, USER, day0).html == web.fetch(url, CRAWLER, day0).html
+
+    def test_compromise_pool_sites_have_root_pages(self, day0):
+        builder, web = self._builder(day0)
+        pool = builder.build_compromise_pool(30)
+        assert len(pool) == 30
+        for site in pool:
+            assert site.get_page("/") is not None
+            assert 0.0 < site.authority <= 1.0

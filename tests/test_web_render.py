@@ -1,0 +1,119 @@
+"""Tests for the mini JavaScript renderer — the honest mechanism behind
+iframe-cloaking detection."""
+
+from repro.html.parser import parse_html
+from repro.web.render import execute_script, render_document
+from repro.seo.cloaking import IframeObfuscator
+from repro.util.rng import RandomStreams
+
+
+class TestExecuteScript:
+    def test_document_write_literal(self):
+        effects = execute_script("document.write('<p>hi</p>');")
+        assert effects.written_html == ["<p>hi</p>"]
+
+    def test_variable_assignment_and_concat(self):
+        code = "var a = '<p>'; var b = a + 'x' + '</p>'; document.write(b);"
+        effects = execute_script(code)
+        assert effects.written_html == ["<p>x</p>"]
+
+    def test_plus_equals(self):
+        code = "var z = '<i'; z += 'frame>'; document.write(z);"
+        assert execute_script(code).written_html == ["<iframe>"]
+
+    def test_from_char_code(self):
+        code = "var u = String.fromCharCode(104, 105); document.write(u);"
+        assert execute_script(code).written_html == ["hi"]
+
+    def test_unescape(self):
+        code = "document.write(unescape('%68%69'));"
+        assert execute_script(code).written_html == ["hi"]
+
+    def test_array_join(self):
+        code = "document.write(['<p>', 'x', '</p>'].join(''));"
+        assert execute_script(code).written_html == ["<p>x</p>"]
+
+    def test_create_element_append(self):
+        code = (
+            "var f = document.createElement('iframe');\n"
+            "f.src = 'http://store.com/';\n"
+            "f.width = '100%';\nf.height = '100%';\n"
+            "document.body.appendChild(f);"
+        )
+        effects = execute_script(code)
+        assert len(effects.appended_elements) == 1
+        el = effects.appended_elements[0]
+        assert el.tag == "iframe"
+        assert el.attrs["src"] == "http://store.com/"
+        assert el.attrs["width"] == "100%"
+
+    def test_set_attribute_form(self):
+        code = (
+            "var f = document.createElement('iframe');"
+            "f.setAttribute('src', 'http://s.com/');"
+            "document.body.appendChild(f);"
+        )
+        effects = execute_script(code)
+        assert effects.appended_elements[0].attrs["src"] == "http://s.com/"
+
+    def test_unknown_statements_ignored(self):
+        code = "window.alert('x'); for (var i=0;i<3;i++){}; document.write('<b>k</b>');"
+        effects = execute_script(code)
+        assert effects.written_html == ["<b>k</b>"]
+
+    def test_undefined_variable_skipped(self):
+        effects = execute_script("document.write(mystery);")
+        assert effects.written_html == []
+
+    def test_semicolons_inside_strings(self):
+        effects = execute_script("document.write('a;b');")
+        assert effects.written_html == ["a;b"]
+
+    def test_never_raises_on_garbage(self):
+        for code in ["", ";;;", "var = = =", "document.write(", "'unterminated"]:
+            execute_script(code)
+
+
+class TestRenderDocument:
+    def test_write_appends_to_body(self):
+        html = "<html><body><script>document.write('<div id=\"late\">x</div>');</script></body></html>"
+        rendered = render_document(parse_html(html))
+        assert any(el.get("id") == "late" for el in rendered.iter())
+
+    def test_append_child_iframe_visible_after_render(self):
+        code = (
+            "var f = document.createElement('iframe');"
+            "f.src = 'http://store.com/'; f.width = '100%'; f.height = '100%';"
+            "document.body.appendChild(f);"
+        )
+        html = f"<html><body><p>seo text</p><script>{code}</script></body></html>"
+        unrendered = parse_html(html)
+        assert unrendered.find_all("iframe") == []
+        rendered = render_document(unrendered)
+        assert len(rendered.find_all("iframe")) == 1
+
+    def test_static_page_unchanged(self):
+        html = "<html><body><p>static</p></body></html>"
+        rendered = render_document(parse_html(html))
+        assert rendered.text_content() == parse_html(html).text_content()
+
+
+class TestObfuscationStylesRoundTrip:
+    """Every obfuscation style a kit can emit must be executable by the
+    renderer and reveal the iframe — the detection contract."""
+
+    def test_all_styles_reveal_target(self):
+        target = "http://store-example.com/"
+        for i in range(40):  # cycle RNG so all styles appear
+            streams = RandomStreams(i)
+            obfuscator = IframeObfuscator(streams, f"campaign{i}")
+            script = obfuscator.script_for(target)
+            html = f"<html><body><p>x</p><script>{script}</script></body></html>"
+            rendered = render_document(parse_html(html))
+            iframes = rendered.find_all("iframe")
+            assert iframes, f"style {obfuscator.style} produced no iframe"
+            assert iframes[0].get("src") == target, obfuscator.style
+
+    def test_styles_cover_all_variants(self):
+        seen = {IframeObfuscator(RandomStreams(i), f"c{i}").style for i in range(60)}
+        assert seen == set(IframeObfuscator.STYLES)
