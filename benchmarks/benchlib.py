@@ -1,5 +1,8 @@
 """Shared helpers for benchmark reporting."""
 
+import json
+import os
+
 
 def print_comparison(title: str, rows) -> None:
     """Uniform 'paper vs measured' block under each benchmark."""
@@ -8,3 +11,26 @@ def print_comparison(title: str, rows) -> None:
     width = max(len(r[0]) for r in rows)
     for name, paper, measured in rows:
         print(f"  {name:<{width}}  paper: {paper:<28} measured: {measured}")
+
+
+def bench_output_dir() -> str:
+    """Where BENCH_*.json files land (repo root unless overridden)."""
+    configured = os.environ.get("REPRO_BENCH_DIR")
+    if configured:
+        os.makedirs(configured, exist_ok=True)
+        return configured
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def write_bench_json(name: str, payload: dict) -> str:
+    """Write one benchmark's results as ``BENCH_<name>.json``.
+
+    The payload should already be JSON-serializable; a ``schema`` key is
+    added so downstream tooling can detect format changes.
+    """
+    path = os.path.join(bench_output_dir(), f"BENCH_{name}.json")
+    with open(path, "w") as handle:
+        json.dump({"schema": 1, "benchmark": name, **payload},
+                  handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -1,0 +1,79 @@
+"""End-to-end study timing: where a full run's wall-clock goes.
+
+Runs the small-preset pipeline once (simulation, crawl, test orders,
+classification, attribution) and records total wall time plus the hot-path
+breakdown from the always-on :data:`repro.util.perf.PERF` registry —
+the same numbers ``python -m repro perf`` prints — into
+``BENCH_study.json``.
+
+A second, classification-only pass measures the classifier-fit speedup
+from ``n_jobs`` threads; attributions must be identical either way
+(``tests/test_serp_determinism.py`` pins that), so only the timing is
+recorded here.
+
+No timing assertions: CI boxes vary.  The JSON is the artifact.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.classify.pipeline import CampaignClassifier
+from repro.crawler.serp_crawler import CrawlPolicy
+from repro.ecosystem import small_preset
+from repro.study import StudyRun
+from repro.util.perf import PERF
+
+from benchlib import print_comparison, write_bench_json
+
+DAYS = int(os.environ.get("REPRO_BENCH_STUDY_DAYS", "70"))
+FIT_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "4"))
+
+
+def test_study_end_to_end_perf():
+    PERF.reset()
+    start = time.perf_counter()
+    results = StudyRun(
+        small_preset(days=DAYS), crawl_policy=CrawlPolicy(stride_days=2)
+    ).execute()
+    total_s = time.perf_counter() - start
+    breakdown = PERF.report()
+
+    # -- classifier-fit thread scaling (identical weights, see tests) ---- #
+    fit_timing = {}
+    if results.labeled_pages and len({p.campaign for p in results.labeled_pages}) >= 2:
+        for jobs in (1, FIT_JOBS):
+            t0 = time.perf_counter()
+            CampaignClassifier(n_jobs=jobs).fit(results.labeled_pages)
+            fit_timing[f"fit_s_jobs{jobs}"] = time.perf_counter() - t0
+
+    payload = {
+        "days": DAYS,
+        "psrs": len(results.dataset),
+        "total_s": total_s,
+        "perf": breakdown,
+        **fit_timing,
+    }
+    write_bench_json("study", payload)
+
+    rows = [("total", "-", f"{total_s:.2f}s")]
+    for name in ("simulator.day", "engine.serp", "web.fetch", "classifier.fit"):
+        stats = breakdown.get(name)
+        if stats:
+            rows.append((
+                name, "-",
+                f"{stats['total_s']:.2f}s over {stats['calls']} calls",
+            ))
+    if fit_timing:
+        base = fit_timing.get("fit_s_jobs1")
+        threaded = fit_timing.get(f"fit_s_jobs{FIT_JOBS}")
+        if base and threaded:
+            rows.append((
+                f"fit n_jobs={FIT_JOBS}", "-",
+                f"{base / threaded:.2f}x vs n_jobs=1",
+            ))
+    print_comparison("Study end-to-end (small preset)", rows)
+
+    assert len(results.dataset) > 0
+    assert "engine.serp" in breakdown and "simulator.day" in breakdown

@@ -17,6 +17,7 @@ from repro.classify.features import Vocabulary, extract_features, vectorize
 from repro.classify.labeling import LabeledPage
 from repro.classify.linear import OneVsRestL1Logistic
 from repro.crawler.records import PageArchive, PsrDataset
+from repro.util.perf import PERF
 
 
 @dataclass
@@ -40,10 +41,13 @@ class CampaignClassifier:
     """Vocabulary + one-vs-rest L1 logistic regression over page HTML."""
 
     def __init__(self, lam: float = 1e-3, min_df: int = 2,
-                 confidence_threshold: float = 0.5):
+                 confidence_threshold: float = 0.5, n_jobs: int = 1):
         self.lam = lam
         self.min_df = min_df
         self.confidence_threshold = confidence_threshold
+        #: Thread count for the per-class one-vs-rest fits; any value
+        #: produces identical weights (see OneVsRestL1Logistic.fit).
+        self.n_jobs = n_jobs
         self.vocabulary: Optional[Vocabulary] = None
         self.model: Optional[OneVsRestL1Logistic] = None
 
@@ -54,11 +58,12 @@ class CampaignClassifier:
     def fit(self, labeled: Sequence[LabeledPage]) -> "CampaignClassifier":
         if not labeled:
             raise ValueError("no labeled pages")
-        feature_maps = [extract_features(page.html) for page in labeled]
-        self.vocabulary = Vocabulary(min_df=self.min_df).fit(feature_maps)
-        X = vectorize(feature_maps, self.vocabulary)
-        self.model = OneVsRestL1Logistic(lam=self.lam)
-        self.model.fit(X, [page.campaign for page in labeled])
+        with PERF.timer("classifier.fit"):
+            feature_maps = [extract_features(page.html) for page in labeled]
+            self.vocabulary = Vocabulary(min_df=self.min_df).fit(feature_maps)
+            X = vectorize(feature_maps, self.vocabulary)
+            self.model = OneVsRestL1Logistic(lam=self.lam, n_jobs=self.n_jobs)
+            self.model.fit(X, [page.campaign for page in labeled])
         return self
 
     @property

@@ -5,7 +5,9 @@ Commands:
 * ``run`` — execute the full study pipeline and write the measurement
   artifacts (PSR dataset, tables, sparklines, summary) to a directory;
 * ``ablations`` — run the intervention-policy counterfactuals and print
-  the comparison table.
+  the comparison table;
+* ``perf`` — run a study and print the hot-path timing breakdown from the
+  always-on :data:`repro.util.perf.PERF` registry.
 """
 
 from __future__ import annotations
@@ -30,6 +32,7 @@ from repro.analysis import (
     vertical_table,
 )
 from repro.reporting import render_table, sparkline_row
+from repro.util.perf import PERF
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -47,10 +50,27 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="monitored terms per vertical (paper preset)")
     run.add_argument("--stride", type=int, default=3, help="crawl stride, days")
     run.add_argument("--seed", type=int, default=None, help="scenario seed")
+    run.add_argument("--jobs", type=int, default=1,
+                     help="threads for classifier fits (same results any value)")
     run.add_argument("--out", default="study-output", help="output directory")
 
     ablations = sub.add_parser("ablations", help="run intervention counterfactuals")
     ablations.add_argument("--days", type=int, default=70, help="window length")
+
+    perf = sub.add_parser(
+        "perf", help="run a study and print the hot-path perf breakdown"
+    )
+    perf.add_argument("--preset", choices=("small", "paper"), default="small")
+    perf.add_argument("--scale", type=float, default=0.05,
+                      help="paper-preset census scale (ignored for small)")
+    perf.add_argument("--terms", type=int, default=8,
+                      help="monitored terms per vertical (paper preset)")
+    perf.add_argument("--stride", type=int, default=3, help="crawl stride, days")
+    perf.add_argument("--seed", type=int, default=None, help="scenario seed")
+    perf.add_argument("--jobs", type=int, default=1,
+                      help="threads for classifier fits (same results any value)")
+    perf.add_argument("--json", default=None, metavar="PATH",
+                      help="also dump the registry snapshot as JSON")
     return parser
 
 
@@ -72,7 +92,8 @@ def command_run(args) -> int:
           f"{len(config.all_campaign_specs())} campaigns, "
           f"{len(config.window)} days)...", flush=True)
     results = StudyRun(
-        config, crawl_policy=CrawlPolicy(stride_days=args.stride)
+        config, crawl_policy=CrawlPolicy(stride_days=args.stride),
+        n_jobs=args.jobs,
     ).execute()
     dataset = results.dataset
     aggregates = DailyAggregates(dataset)
@@ -164,12 +185,31 @@ def command_ablations(args) -> int:
     return 0
 
 
+def command_perf(args) -> int:
+    config = _config_for(args)
+    print(f"Profiling {args.preset} preset "
+          f"({len(config.verticals)} verticals, {len(config.window)} days, "
+          f"jobs={args.jobs})...", flush=True)
+    PERF.reset()
+    StudyRun(
+        config, crawl_policy=CrawlPolicy(stride_days=args.stride),
+        n_jobs=args.jobs,
+    ).execute()
+    print(PERF.format_table())
+    if args.json:
+        PERF.dump_json(args.json)
+        print(f"\nPerf snapshot written to {args.json}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "run":
         return command_run(args)
     if args.command == "ablations":
         return command_ablations(args)
+    if args.command == "perf":
+        return command_perf(args)
     return 2
 
 

@@ -18,8 +18,10 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro.util.perf import PERF
 from repro.util.randmath import binomial, poisson
 from repro.util.rng import RandomStreams
 from repro.util.simtime import SimDate
@@ -170,7 +172,9 @@ class Simulator:
         for name, vertical in world.verticals.items():
             for term in vertical.terms:
                 vertical_of_term[term] = name
+        day_timer = PERF.handle("simulator.day")
         for day in world.window:
+            day_start = perf_counter()
             world.today = day
             for campaign in self.campaigns:
                 campaign.on_day(world, day)
@@ -187,6 +191,7 @@ class Simulator:
             context = DayContext(day=day, serps=serps, vertical_of_term=vertical_of_term)
             for observer in observers:
                 observer.on_day(world, context)
+            day_timer.add(perf_counter() - day_start)
         return world
 
     # ------------------------------------------------------------------ #

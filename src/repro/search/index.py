@@ -5,17 +5,30 @@ engine-visible signals: the hosting site's authority, the page's topical
 relevance to the term, and the observed off-page SEO signal (backlink-farm
 strength).  The SEO signal is supplied by a callable so campaign effort
 schedules can vary it over time without daily index rewrites.
+
+Serving is columnar: :meth:`SearchIndex.columns` materializes a term's
+candidates into contiguous NumPy arrays (:class:`TermColumns`) that the
+engine scores in bulk.  Columns are cached per term and invalidated by a
+per-term version counter that every mutation (:meth:`add`,
+:meth:`remove_host`) bumps, so a stale cache can never serve a deindexed —
+or worse, a recycled — entry.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+import numpy as np
+
+from repro.util.simtime import SimDate
 from repro.web.sites import Site
 
 #: Time-varying SEO signal: day -> strength in [0, inf).
 SeoSignal = Callable[[object], float]
+
+#: ``indexed_on`` ordinal stand-in for "always eligible" (predates any day).
+ALWAYS_INDEXED = -(2**62)
 
 
 def no_seo_signal(day) -> float:
@@ -48,16 +61,114 @@ class IndexedEntry:
         return f"IndexedEntry({self.url!r}, rel={self.relevance:.2f})"
 
 
+class TermColumns:
+    """Columnar view of one term's candidates, in candidate order.
+
+    Arrays are parallel to :attr:`entries`; the engine combines them into
+    scores without touching the entry objects until results are built.
+    """
+
+    __slots__ = (
+        "entries",
+        "authority",
+        "relevance",
+        "indexed_ord",
+        "max_indexed_ord",
+        "hosts",
+        "urls",
+        "paths",
+        "host_codes",
+        "host_counts",
+        "max_host_count",
+        "seo_groups",
+        "seo_positions",
+        "seo_signals",
+    )
+
+    def __init__(self, entries: List[IndexedEntry]):
+        self.entries: Tuple[IndexedEntry, ...] = tuple(entries)
+        n = len(self.entries)
+        self.authority = np.fromiter(
+            (e.site.authority * e.authority_factor for e in self.entries),
+            dtype=np.float64, count=n,
+        )
+        self.relevance = np.fromiter(
+            (e.relevance for e in self.entries), dtype=np.float64, count=n,
+        )
+        self.indexed_ord = np.fromiter(
+            (
+                ALWAYS_INDEXED if e.indexed_on is None else SimDate(e.indexed_on).ordinal
+                for e in self.entries
+            ),
+            dtype=np.int64, count=n,
+        )
+        self.max_indexed_ord = int(self.indexed_ord.max()) if n else ALWAYS_INDEXED
+        self.hosts: Tuple[str, ...] = tuple(e.host for e in self.entries)
+        self.urls: Tuple[str, ...] = tuple(e.url for e in self.entries)
+        self.paths: Tuple[str, ...] = tuple(e.path for e in self.entries)
+        #: Hosts as dense integer codes so the engine's per-host result cap
+        #: can be applied with array ops; ``max_host_count`` lets it skip
+        #: cap handling entirely for terms where no host can exceed it.
+        codes: Dict[str, int] = {}
+        self.host_codes = np.fromiter(
+            (codes.setdefault(h, len(codes)) for h in self.hosts),
+            dtype=np.intp, count=n,
+        )
+        if n:
+            counts = np.bincount(self.host_codes)
+            self.host_counts = counts[self.host_codes]
+            self.max_host_count = int(counts.max())
+        else:
+            self.host_counts = np.empty(0, dtype=np.intp)
+            self.max_host_count = 0
+        #: Signals that expose (schedule, quality) structure — every page
+        #: of a (campaign, vertical) shares one schedule — are grouped so
+        #: serving evaluates each schedule once and broadcasts over the
+        #: member qualities; opaque signal callables stay on the per-entry
+        #: fallback path (``seo_positions``/``seo_signals``).
+        grouped: Dict[int, Tuple[Callable, List[int], List[float]]] = {}
+        generic_pos: List[int] = []
+        generic_sig: List[SeoSignal] = []
+        for i, e in enumerate(self.entries):
+            sig = e.seo_signal
+            if sig is no_seo_signal:
+                continue
+            schedule = getattr(sig, "schedule", None)
+            quality = getattr(sig, "quality", None)
+            if schedule is not None and quality is not None:
+                group = grouped.get(id(schedule))
+                if group is None:
+                    grouped[id(schedule)] = group = (schedule.level, [], [])
+                group[1].append(i)
+                group[2].append(quality)
+            else:
+                generic_pos.append(i)
+                generic_sig.append(sig)
+        self.seo_groups = tuple(
+            (level, np.asarray(pos, dtype=np.intp), np.asarray(q, dtype=np.float64))
+            for level, pos, q in grouped.values()
+        )
+        self.seo_positions = np.asarray(generic_pos, dtype=np.intp)
+        self.seo_signals = tuple(generic_sig)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
 class SearchIndex:
     """Candidate sets per term, with deindexing support."""
 
     def __init__(self):
         self._by_term: Dict[str, List[IndexedEntry]] = {}
         self._by_host: Dict[str, List[IndexedEntry]] = {}
+        #: Per-term mutation counters; the columnar cache is keyed on them.
+        self._versions: Dict[str, int] = {}
+        self._columns: Dict[str, Tuple[int, TermColumns]] = {}
 
     def add(self, term: str, entry: IndexedEntry) -> IndexedEntry:
         self._by_term.setdefault(term, []).append(entry)
         self._by_host.setdefault(entry.host, []).append(entry)
+        self._versions[term] = self._versions.get(term, 0) + 1
         return entry
 
     def add_page(
@@ -85,6 +196,21 @@ class SearchIndex:
     def candidates(self, term: str) -> List[IndexedEntry]:
         return self._by_term.get(term, [])
 
+    def columns(self, term: str) -> TermColumns:
+        """The term's candidates as contiguous arrays (cached until the
+        term's candidate set next mutates)."""
+        version = self._versions.get(term, 0)
+        cached = self._columns.get(term)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        columns = TermColumns(self._by_term.get(term, []))
+        self._columns[term] = (version, columns)
+        return columns
+
+    def version(self, term: str) -> int:
+        """Mutation counter for a term (bumped by add/remove)."""
+        return self._versions.get(term, 0)
+
     def terms(self) -> List[str]:
         return sorted(self._by_term)
 
@@ -98,7 +224,10 @@ class SearchIndex:
         if removed:
             doomed = set(id(e) for e in removed)
             for term, entries in self._by_term.items():
-                self._by_term[term] = [e for e in entries if id(e) not in doomed]
+                kept = [e for e in entries if id(e) not in doomed]
+                if len(kept) != len(entries):
+                    self._by_term[term] = kept
+                    self._versions[term] = self._versions.get(term, 0) + 1
         return len(removed)
 
     def __len__(self) -> int:

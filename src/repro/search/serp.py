@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, NamedTuple, Optional
 
 from repro.search.index import IndexedEntry
 
@@ -19,9 +19,15 @@ class ResultLabel(enum.Enum):
     MALWARE = "malware"
 
 
-@dataclass
-class SearchResult:
-    """One organic result on a SERP."""
+class SearchResult(NamedTuple):
+    """One organic result on a SERP.
+
+    A NamedTuple rather than a dataclass: the engine materializes up to
+    ``serp_size`` of these per (term, day), so construction cost is a
+    measurable slice of every study run, and tuple construction is several
+    times cheaper than a dataclass ``__init__``.  Results are immutable
+    snapshots; nothing downstream ever mutates one.
+    """
 
     rank: int  # 1-based
     url: str

@@ -32,6 +32,25 @@ from repro.seo.schedule import EffortSchedule, random_schedule
 from repro.seo.templates import THEME_FAMILIES, TemplateTheme, assign_theme
 
 
+class ScheduledSignal:
+    """Doorway SEO signal: the campaign's effort level times page quality.
+
+    Structured (rather than a closure) so the search index can group
+    same-schedule entries and the engine can evaluate each schedule once
+    per SERP instead of once per candidate — every page of every doorway
+    in a (campaign, vertical) shares one :class:`EffortSchedule`.
+    """
+
+    __slots__ = ("schedule", "quality")
+
+    def __init__(self, schedule: EffortSchedule, quality: float):
+        self.schedule = schedule
+        self.quality = quality
+
+    def __call__(self, day) -> float:
+        return self.schedule.level(day) * self.quality
+
+
 @dataclass
 class CampaignSpec:
     """Static description of one campaign (Table 2 row, roughly)."""
@@ -392,10 +411,7 @@ class Campaign:
         doorway.root_injected = True
 
     def _make_signal(self, schedule: EffortSchedule, quality: float):
-        def signal(day) -> float:
-            return schedule.level(day) * quality
-
-        return signal
+        return ScheduledSignal(schedule, quality)
 
     def _pick_landing_store(self, vertical_name: str) -> Store:
         stores = self._stores_by_vertical.get(vertical_name)

@@ -68,6 +68,7 @@ class StudyRun:
         classifier_lam: float = 1e-3,
         confidence_threshold: float = 0.5,
         classify: bool = True,
+        n_jobs: int = 1,
     ):
         self.config = config
         self.crawl_policy = crawl_policy or CrawlPolicy(stride_days=2)
@@ -77,6 +78,10 @@ class StudyRun:
         self.classifier_lam = classifier_lam
         self.confidence_threshold = confidence_threshold
         self.classify = classify
+        #: Thread count for classifier fits; attribution results are
+        #: identical for any value (the per-class fits are independent and
+        #: deterministic) — see ``tests/test_serp_determinism.py``.
+        self.n_jobs = n_jobs
 
     def execute(self) -> StudyResults:
         simulator = Simulator(self.config)
@@ -108,6 +113,7 @@ class StudyRun:
                     classifier_factory=lambda: CampaignClassifier(
                         lam=self.classifier_lam,
                         confidence_threshold=self.confidence_threshold,
+                        n_jobs=self.n_jobs,
                     ),
                     labeled=labeled,
                     unlabeled=unlabeled,

@@ -10,6 +10,9 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
+from time import perf_counter
+
+from repro.util.perf import PERF
 from repro.util.simtime import SimDate
 from repro.web.domains import DomainRegistry
 from repro.web.fetch import PageResult, Response, VisitorProfile
@@ -17,6 +20,8 @@ from repro.web.sites import Site, SiteKind
 from repro.web.urls import Url, parse_url
 
 MAX_REDIRECTS = 8
+
+_FETCH_TIMER = PERF.handle("web.fetch")
 
 
 class FetchError(Exception):
@@ -76,6 +81,13 @@ class Web:
         profile's referrer (e.g., a Google SERP), subsequent hops carry the
         redirecting URL.
         """
+        start = perf_counter()
+        try:
+            return self._fetch(raw_url, profile, day)
+        finally:
+            _FETCH_TIMER.add(perf_counter() - start)
+
+    def _fetch(self, raw_url: str, profile: VisitorProfile, day) -> Response:
         day = SimDate(day)
         try:
             url = parse_url(raw_url)

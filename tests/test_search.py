@@ -17,6 +17,7 @@ from repro.search import (
     Vertical,
 )
 from repro.search.query import generate_terms, make_vertical
+from repro.search.ranking import NoiseSource
 from repro.search.serp import SearchResult
 
 
@@ -239,3 +240,66 @@ class TestClickModel:
         v = 1000.0
         assert model.expected_clicks(plain, v) > model.expected_clicks(hacked, v)
         assert model.expected_clicks(malware, v) < model.expected_clicks(hacked, v) * 0.1
+
+
+class TestNoiseSource:
+    """The batch noise stream must equal sequential scalar draws bit for
+    bit — the equivalence the columnar engine's determinism rests on
+    (see ``NoiseSource``)."""
+
+    def test_batch_matches_scalar_draws(self, streams, day0):
+        source = NoiseSource(streams, sigma=0.15)
+        batch = source.batch("cheap uggs", day0, 64)
+        gauss = source.for_serp("cheap uggs", day0)
+        assert [gauss() for _ in range(64)] == batch.tolist()
+
+    def test_batch_repeatable(self, streams, day0):
+        source = NoiseSource(streams, sigma=0.15)
+        first = source.batch("cheap uggs", day0, 32)
+        second = source.batch("cheap uggs", day0, 32)
+        assert first.tolist() == second.tolist()
+
+    def test_streams_distinct_by_term_and_day(self, streams, day0):
+        source = NoiseSource(streams, sigma=0.15)
+        base = source.batch("cheap uggs", day0, 16).tolist()
+        assert source.batch("louis vuitton outlet", day0, 16).tolist() != base
+        assert source.batch("cheap uggs", day0 + 1, 16).tolist() != base
+
+    def test_prefix_stable_under_length(self, streams, day0):
+        """Drawing k values is a prefix of drawing k+m values, so the
+        eligible-candidate count never perturbs earlier draws."""
+        source = NoiseSource(streams, sigma=0.15)
+        short = source.batch("cheap uggs", day0, 10)
+        long = source.batch("cheap uggs", day0, 40)
+        assert short.tolist() == long[:10].tolist()
+
+
+class TestStaticScoreInvalidation:
+    """Regression: the seed cached static scores by ``id(entry)``, which a
+    deindex-then-re-add cycle could recycle — serving stale authority for a
+    brand-new entry (and leaking retired entries forever).  The columnar
+    cache keys on the term's TermColumns identity instead."""
+
+    def test_deindex_then_readd_served_fresh(self, registry, streams, day0):
+        index = SearchIndex()
+        for i in range(12):
+            site = _site(registry, f"bg{i}.com", 0.4 + 0.01 * i, day0)
+            index.add_page("t", site, "/", relevance=0.5)
+        strong = _site(registry, "comeback.com", 0.95, day0)
+        index.add_page("t", strong, "/", relevance=0.95)
+        engine = SearchEngine(index, streams, serp_size=20)
+
+        first = {r.host: r.score for r in engine.serp("t", day0).results}
+        assert "comeback.com" in first
+
+        engine.deindex_host("comeback.com")
+        assert all(
+            r.host != "comeback.com" for r in engine.serp("t", day0).results
+        )
+
+        # Same host returns with rock-bottom signals; any stale cached
+        # static (id-recycled or host-keyed) would resurrect the old score.
+        index.add_page("t", strong, "/", relevance=0.01, authority_factor=0.01)
+        again = {r.host: r.score for r in engine.serp("t", day0).results}
+        assert "comeback.com" in again
+        assert again["comeback.com"] < first["comeback.com"] - 0.5

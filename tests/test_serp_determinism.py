@@ -1,0 +1,78 @@
+"""Study-level determinism locks.
+
+Two guarantees the perf work must not erode:
+
+* a fixed scenario seed reproduces the *entire* measurement bit for bit —
+  the PSR dataset and the Table 1/2 aggregates built from it; and
+* ``n_jobs`` changes wall-clock only: threaded classifier fits yield the
+  same per-class weights and the same attribution for every record as the
+  sequential path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import DailyAggregates, campaign_table, vertical_table
+from repro.crawler.serp_crawler import CrawlPolicy
+from repro.ecosystem import small_preset
+from repro.study import StudyRun
+
+
+def _run(n_jobs: int = 1):
+    return StudyRun(
+        small_preset(),
+        crawl_policy=CrawlPolicy(stride_days=2),
+        n_jobs=n_jobs,
+    ).execute()
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return _run()
+
+
+def _record_rows(results):
+    return [record.to_json() for record in results.dataset.records]
+
+
+def test_same_seed_reproduces_dataset_and_tables(baseline):
+    repeat = _run()
+
+    assert _record_rows(repeat) == _record_rows(baseline)
+
+    base_agg = DailyAggregates(baseline.dataset)
+    rep_agg = DailyAggregates(repeat.dataset)
+    assert vertical_table(repeat.dataset, rep_agg) == vertical_table(
+        baseline.dataset, base_agg
+    )
+    brands = [b.name for b in baseline.world.brand_catalog.all()]
+    assert campaign_table(
+        repeat.dataset, repeat.archive, brands, aggregates=rep_agg
+    ) == campaign_table(
+        baseline.dataset, baseline.archive, brands, aggregates=base_agg
+    )
+
+
+def test_n_jobs_does_not_change_results(baseline):
+    threaded = _run(n_jobs=4)
+
+    assert baseline.classifier is not None and threaded.classifier is not None
+    base_model = baseline.classifier.model
+    threaded_model = threaded.classifier.model
+    assert threaded_model.classes_ == base_model.classes_
+    for cls in base_model.classes_:
+        seq = base_model._models[cls]
+        par = threaded_model._models[cls]
+        assert np.array_equal(par.weights, seq.weights), cls
+        assert par.bias == seq.bias, cls
+
+    assert baseline.attribution is not None and threaded.attribution is not None
+    assert (
+        threaded.attribution.host_predictions
+        == baseline.attribution.host_predictions
+    )
+    assert [r.campaign for r in threaded.dataset.records] == [
+        r.campaign for r in baseline.dataset.records
+    ]
