@@ -10,7 +10,7 @@ remainder is unknown.
 import pytest
 
 from repro.analysis import DailyAggregates, stacked_attribution
-from repro.reporting import sparkline, stacked_to_csv
+from repro.reporting import sparkline
 
 from benchlib import print_comparison
 

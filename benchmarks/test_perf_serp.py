@@ -142,6 +142,7 @@ def _mid_study_world():
 
 def _sample_queries(world) -> List[Tuple[str, object]]:
     days = list(world.window)[20:WARMUP_DAYS:7]
+    # repro: allow-D005 verticals dict is built in fixed config order; sampling must match the golden serve sequence
     terms = [vertical.terms[0] for vertical in world.verticals.values()]
     return [(term, day) for term in terms for day in days]
 

@@ -25,13 +25,11 @@ proxy interventions ultimately target):
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from repro.ecosystem.config import ScenarioConfig
 from repro.ecosystem.simulator import Simulator
-from repro.crawler.records import PsrDataset
 from repro.crawler.serp_crawler import CrawlPolicy, SearchCrawler
 from repro.interventions.search_ops import SearchOpsPolicy
 from repro.interventions.payments import PaymentPolicy

@@ -10,7 +10,6 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.util.simtime import SimDate
 from repro.crawler.records import PsrDataset
 
 

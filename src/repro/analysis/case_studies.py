@@ -12,13 +12,12 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.util.simtime import SimDate
 from repro.crawler.records import PsrDataset
 from repro.crawler.awstats import scrape_awstats, AwstatsNotPublic
-from repro.market.traffic import AwstatsReport
 from repro.orders.purchase_pair import OrderVolumeSeries, TestOrderer, TrackedStore
 
 

@@ -9,7 +9,7 @@ order rate, the paper's core evidence that search penalization works.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.crawler.records import PsrDataset

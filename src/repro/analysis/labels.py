@@ -4,7 +4,7 @@ root-only policy gap, and doorway lifetimes before labeling."""
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Set, Tuple
 
 from repro.util.simtime import SimDate
 from repro.util.stats import mean
@@ -113,8 +113,8 @@ def label_lifetimes(dataset: PsrDataset) -> LabelLifetimes:
         upper = labeled_day - start
         bounds[host] = (lower, upper)
 
-    lowers = [b[0] for b in bounds.values()]
-    uppers = [b[1] for b in bounds.values()]
+    lowers = [b[0] for b in bounds.values()]  # repro: allow-D005 feeds an integer mean only — order-insensitive
+    uppers = [b[1] for b in bounds.values()]  # repro: allow-D005 feeds an integer mean only — order-insensitive
     return LabelLifetimes(
         pre_labeled_hosts=pre_labeled,
         measured_hosts=len(bounds),

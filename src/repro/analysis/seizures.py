@@ -8,7 +8,7 @@ and store sightings bracket lifetimes and rotation reactions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.util.simtime import SimDate
 from repro.util.stats import mean
@@ -193,7 +193,7 @@ def rotation_reactions(dataset: PsrDataset, orderer=None) -> List[RotationReacti
     for firm in firms:
         seized = [h for h, (_, f) in notice_of.items() if f == firm]
         moved = {h: v for h, v in redirected.items() if v[0] == firm}
-        reactions = [v[1] for v in moved.values()]
+        reactions = [v[1] for v in moved.values()]  # repro: allow-D005 feeds an integer mean only — order-insensitive
         stats.append(
             RotationReactionStats(
                 firm=firm,

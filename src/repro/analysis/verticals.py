@@ -8,10 +8,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.util.simtime import SimDate
 from repro.crawler.records import PsrDataset
 from repro.analysis.aggregates import DailyAggregates
 

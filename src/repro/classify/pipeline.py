@@ -9,8 +9,7 @@ stay unattributed — the "unknown" share of Figure 2.
 
 from __future__ import annotations
 
-from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.classify.features import Vocabulary, extract_features, vectorize

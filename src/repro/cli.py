@@ -7,7 +7,9 @@ Commands:
 * ``ablations`` — run the intervention-policy counterfactuals and print
   the comparison table;
 * ``perf`` — run a study and print the hot-path timing breakdown from the
-  always-on :data:`repro.util.perf.PERF` registry.
+  always-on :data:`repro.util.perf.PERF` registry;
+* ``lint`` — run the determinism/concurrency static analyzer
+  (:mod:`repro.lint`) over the given paths; exits non-zero on findings.
 """
 
 from __future__ import annotations
@@ -30,6 +32,13 @@ from repro.analysis import (
     sparkline_extremes,
     supplier_summary,
     vertical_table,
+)
+from repro.lint import (
+    format_json,
+    format_text,
+    lint_paths,
+    select_rules,
+    write_summary,
 )
 from repro.reporting import render_table, sparkline_row
 from repro.util.perf import PERF
@@ -71,6 +80,20 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="threads for classifier fits (same results any value)")
     perf.add_argument("--json", default=None, metavar="PATH",
                       help="also dump the registry snapshot as JSON")
+
+    lint = sub.add_parser(
+        "lint", help="run the determinism/concurrency static analyzer"
+    )
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--select", default=None, metavar="CODES",
+                      help="comma-separated rule codes to run (default: all)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      dest="fmt", help="output format")
+    lint.add_argument("--summary", default=None, metavar="PATH",
+                      help="write BENCH_lint.json-style summary counts")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule table and exit")
     return parser
 
 
@@ -202,6 +225,30 @@ def command_perf(args) -> int:
     return 0
 
 
+def command_lint(args) -> int:
+    try:
+        rules = select_rules(args.select.split(",") if args.select else None)
+    except ValueError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.code}  {rule.name:24s} {rule.hint}")
+        return 0
+    try:
+        report = lint_paths(args.paths, rules)
+    except FileNotFoundError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    if args.fmt == "json":
+        print(format_json(report))
+    else:
+        print(format_text(report))
+    if args.summary:
+        write_summary(report, args.summary)
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "run":
@@ -210,6 +257,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return command_ablations(args)
     if args.command == "perf":
         return command_perf(args)
+    if args.command == "lint":
+        return command_lint(args)
     return 2
 
 

@@ -8,7 +8,7 @@ the view covers whatever window is requested.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.util.simtime import SimDate
 from repro.market.stores import Store

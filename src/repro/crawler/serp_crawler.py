@@ -17,8 +17,8 @@ works out which are poisoned:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
 
 from repro.util.simtime import SimDate
 from repro.web.fetch import Response

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.util.simtime import DateRange, STUDY_END, STUDY_START
 from repro.seo.campaign import CampaignSpec

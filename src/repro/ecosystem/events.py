@@ -9,7 +9,7 @@ crawled data alone, as the paper's did.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List
 
 from repro.util.simtime import SimDate
 

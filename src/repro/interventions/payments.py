@@ -18,7 +18,7 @@ processor (which takes days and can be repeated until processors run out).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
 from repro.util.rng import RandomStreams

@@ -17,8 +17,8 @@ KEY campaign's collapse in mid-December 2013 (Section 5.2.1).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.util.rng import RandomStreams
 from repro.util.simtime import SimDate

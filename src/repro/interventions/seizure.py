@@ -14,7 +14,7 @@ liability, footnote 6).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.util.rng import RandomStreams
 from repro.util.simtime import SimDate

@@ -1,0 +1,66 @@
+"""Rule registry: stable-code -> rule-class mapping and selection.
+
+Rule modules register themselves at import time via :func:`register`;
+:func:`all_rules` imports the :mod:`repro.lint.rules` package (whose
+``__init__`` imports every rule module) so the registry is always fully
+populated before instantiation.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Type
+
+from repro.lint.core import META_CODE, Rule
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+_CODE_RE = re.compile(r"^D\d{3}$")
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the registry (codes are unique)."""
+    code = cls.code
+    if not _CODE_RE.match(code) or code == META_CODE:
+        raise ValueError(f"rule code {code!r} is not a valid D-code")
+    existing = _REGISTRY.get(code)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"rule code {code} already registered by {existing.__name__}")
+    _REGISTRY[code] = cls
+    return cls
+
+
+def _load_rule_modules() -> None:
+    # Imported for side effects: each module's @register call.
+    import repro.lint.rules  # noqa: F401
+
+
+def registered_codes() -> List[str]:
+    _load_rule_modules()
+    return sorted(_REGISTRY)
+
+
+def all_rules() -> List[Rule]:
+    """One instance of every registered rule, in code order."""
+    _load_rule_modules()
+    return [_REGISTRY[code]() for code in sorted(_REGISTRY)]
+
+
+def select_rules(codes: Optional[Sequence[str]] = None) -> List[Rule]:
+    """Rules for the given codes (all rules when ``codes`` is falsy).
+
+    Raises ``ValueError`` for codes that do not exist, so a typoed
+    ``--select`` fails loudly instead of silently linting nothing.
+    """
+    rules = all_rules()
+    if not codes:
+        return rules
+    wanted = {code.strip().upper() for code in codes if code.strip()}
+    known = {rule.code for rule in rules}
+    unknown = sorted(wanted - known)
+    if unknown:
+        raise ValueError(
+            f"unknown rule code(s): {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(known))})"
+        )
+    return [rule for rule in rules if rule.code in wanted]

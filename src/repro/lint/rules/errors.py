@@ -1,0 +1,52 @@
+"""D008 — swallowed exceptions.
+
+The crawler/fetch paths emulate network failure modes with explicit
+status codes; a handler that silently eats exceptions converts a real bug
+(a malformed URL, a broken parser) into a quiet measurement gap that
+skews the study's counts instead of failing the run.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.core import Finding, LintContext, Rule, dotted_name
+from repro.lint.registry import register
+
+
+def _is_noop(stmt: ast.stmt) -> bool:
+    if isinstance(stmt, (ast.Pass, ast.Continue)):
+        return True
+    return (
+        isinstance(stmt, ast.Expr)
+        and isinstance(stmt.value, ast.Constant)
+        and stmt.value.value is Ellipsis
+    )
+
+
+@register
+class SwallowedExceptionRule(Rule):
+    """D008: ``except:`` anywhere; ``except Exception:`` with a no-op body."""
+
+    code = "D008"
+    name = "swallowed-exception"
+    hint = "catch the specific error and record the failure (status, counter, log)"
+    node_types = (ast.ExceptHandler,)
+
+    def visit_node(self, node: ast.AST, ctx: LintContext) -> Iterable[Finding]:
+        if node.type is None:
+            yield self.finding(ctx, node, (
+                "bare 'except:' swallows every error, including "
+                "KeyboardInterrupt and SystemExit"
+            ))
+            return
+        caught = dotted_name(node.type)
+        if caught is None:
+            return
+        if caught.split(".")[-1] in ("Exception", "BaseException") and all(
+            _is_noop(stmt) for stmt in node.body
+        ):
+            yield self.finding(ctx, node, (
+                f"'except {caught}: pass' silently swallows errors"
+            ))

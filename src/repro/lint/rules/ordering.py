@@ -1,0 +1,121 @@
+"""D005 — unordered iteration feeding ordered output.
+
+Iterating a ``set`` gives hash order — PYTHONHASHSEED-dependent for
+strings, so two runs of the same scenario can disagree.  ``dict.values()``
+/ ``.keys()`` are insertion-ordered (deterministic given deterministic
+inserts), but a consumer of the returned sequence acquires a silent
+dependency on that insertion order; the rule forces each such site to
+either sort or document why insertion order is itself stable.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from repro.lint.core import Finding, LintContext, Rule
+from repro.lint.registry import register
+
+#: Builtins whose output preserves iteration order.
+_ORDERED_SINKS = frozenset({"list", "tuple", "iter", "enumerate", "reversed"})
+
+#: Accumulator methods that make a for-loop an ordered producer.
+_ACCUMULATORS = frozenset({"append", "extend", "insert", "appendleft"})
+
+
+def _unordered_source(node: ast.AST) -> Optional[str]:
+    """Describe ``node`` if it iterates in set/view order, else None."""
+    if isinstance(node, ast.Call):
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in ("values", "keys")
+            and not node.args
+            and not node.keywords
+        ):
+            return f".{func.attr}() view"
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return f"{func.id}()"
+    if isinstance(node, ast.Set):
+        return "set literal"
+    if isinstance(node, ast.SetComp):
+        return "set comprehension"
+    return None
+
+
+def _source_of(node: ast.AST) -> Optional[str]:
+    """Like :func:`_unordered_source`, also looking through one generator
+    or list comprehension (``",".join(f(x) for x in s)``)."""
+    direct = _unordered_source(node)
+    if direct is not None:
+        return direct
+    if isinstance(node, (ast.GeneratorExp, ast.ListComp)) and node.generators:
+        return _unordered_source(node.generators[0].iter)
+    return None
+
+
+def _inside_sorted(node: ast.AST) -> bool:
+    """True when an enclosing expression sorts (or order-insensitively
+    reduces) the value before anything order-dependent sees it."""
+    current = node
+    while True:
+        parent = getattr(current, "parent", None)
+        if parent is None or isinstance(parent, ast.stmt):
+            return False
+        if isinstance(parent, ast.Call) and isinstance(parent.func, ast.Name):
+            if parent.func.id in ("sorted", "min", "max", "sum", "len", "any", "all"):
+                return True
+        current = parent
+
+
+@register
+class UnorderedIterationRule(Rule):
+    """D005: set / dict-view iteration flowing into ordered output."""
+
+    code = "D005"
+    name = "unordered-iteration"
+    hint = "wrap the source in sorted(...) or document why insertion order is stable"
+    node_types = (ast.Call, ast.ListComp, ast.For)
+
+    def visit_node(self, node: ast.AST, ctx: LintContext) -> Iterable[Finding]:
+        if isinstance(node, ast.Call):
+            func = node.func
+            sink: Optional[str] = None
+            if isinstance(func, ast.Name) and func.id in _ORDERED_SINKS:
+                sink = f"{func.id}()"
+            elif isinstance(func, ast.Attribute) and func.attr == "join":
+                sink = "str.join()"
+            if sink is None or not node.args:
+                return
+            source = _source_of(node.args[0])
+            if source is not None and not _inside_sorted(node):
+                yield self.finding(ctx, node, (
+                    f"{sink} over a {source} fixes an unordered iteration "
+                    "into ordered output"
+                ))
+            return
+        if isinstance(node, ast.ListComp):
+            if not node.generators:
+                return
+            source = _unordered_source(node.generators[0].iter)
+            if source is not None and not _inside_sorted(node):
+                yield self.finding(ctx, node, (
+                    f"list comprehension over a {source} fixes an unordered "
+                    "iteration into ordered output"
+                ))
+            return
+        if isinstance(node, ast.For):
+            source = _unordered_source(node.iter)
+            if source is None:
+                return
+            for sub in ast.walk(node):
+                accumulates = (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr in _ACCUMULATORS
+                ) or isinstance(sub, (ast.Yield, ast.YieldFrom))
+                if accumulates:
+                    yield self.finding(ctx, node, (
+                        f"loop over a {source} accumulates into ordered output"
+                    ))
+                    return

@@ -1,0 +1,156 @@
+"""D001/D002 — RNG discipline.
+
+Every draw in the simulator must come from a named, seed-derived stream
+(:class:`repro.util.rng.RandomStreams`) or an explicit NumPy
+``Generator(PCG64(seed))``; process-global RNG state makes results depend
+on import order, call order across components, and thread interleaving.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Set
+
+from repro.lint.core import Finding, LintContext, Rule, dotted_name
+from repro.lint.registry import register
+
+#: ``random.<func>`` calls that touch the hidden module-global Mersenne
+#: Twister instance.
+_GLOBAL_RANDOM_FUNCS = frozenset({
+    "betavariate", "choice", "choices", "expovariate", "gammavariate",
+    "gauss", "getrandbits", "getstate", "lognormvariate", "normalvariate",
+    "paretovariate", "randbytes", "randint", "random", "randrange",
+    "sample", "seed", "setstate", "shuffle", "triangular", "uniform",
+    "vonmisesvariate", "weibullvariate",
+})
+
+
+class _ImportTracking(Rule):
+    """Shared alias bookkeeping for the RNG rules."""
+
+    def begin_module(self, tree: ast.Module, ctx: LintContext) -> None:
+        self.random_aliases: Set[str] = set()
+        self.numpy_aliases: Set[str] = set()
+        self.nprandom_aliases: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "random":
+                        self.random_aliases.add(bound)
+                    elif alias.name == "numpy":
+                        self.numpy_aliases.add(bound)
+                    elif alias.name == "numpy.random":
+                        if alias.asname:
+                            self.nprandom_aliases.add(alias.asname)
+                        else:
+                            self.numpy_aliases.add("numpy")
+            elif isinstance(node, ast.ImportFrom) and node.module == "numpy":
+                for alias in node.names:
+                    if alias.name == "random":
+                        self.nprandom_aliases.add(alias.asname or "random")
+
+
+@register
+class StdlibRandomRule(_ImportTracking):
+    """D001: stdlib ``random`` use outside the RNG discipline modules.
+
+    Three tiers, all reported under one code:
+
+    * module-global draws (``random.random()``, ``random.shuffle``, or any
+      ``from random import <func>``) — never acceptable;
+    * unseeded constructions (``random.Random()`` with no arguments,
+      ``random.SystemRandom``) — nondeterministic by definition;
+    * seeded ``random.Random(seed)`` constructed outside
+      :mod:`repro.util.rng` — deterministic but bypasses the stream
+      registry; suppress with a reason when the seed provably derives from
+      the scenario seed.
+    """
+
+    code = "D001"
+    name = "stdlib-random"
+    hint = "draw from a named RandomStreams stream (repro.util.rng)"
+    node_types = (ast.Call, ast.ImportFrom)
+    exempt_suffixes = ("repro/util/rng.py", "repro/util/randmath.py")
+
+    def visit_node(self, node: ast.AST, ctx: LintContext) -> Iterable[Finding]:
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "random" and node.level == 0:
+                for alias in node.names:
+                    if alias.name != "Random":
+                        yield self.finding(ctx, node, (
+                            f"'from random import {alias.name}' binds the "
+                            "process-global RNG"
+                        ))
+            return
+        name = dotted_name(node.func)
+        if name is None or "." not in name:
+            return
+        base, _, attr = name.rpartition(".")
+        if base not in self.random_aliases:
+            return
+        if attr in _GLOBAL_RANDOM_FUNCS:
+            yield self.finding(ctx, node, (
+                f"call to module-global random.{attr}() (hidden shared "
+                "Mersenne Twister state)"
+            ))
+        elif attr == "SystemRandom":
+            yield self.finding(ctx, node, (
+                "random.SystemRandom draws from the OS entropy pool and can "
+                "never be reproduced"
+            ))
+        elif attr == "Random":
+            if not node.args and not node.keywords:
+                yield self.finding(ctx, node, (
+                    "unseeded random.Random() — seeds itself from OS entropy"
+                ))
+            else:
+                yield self.finding(ctx, node, (
+                    "direct random.Random(seed) construction bypasses the "
+                    "RandomStreams registry"
+                ))
+
+
+@register
+class NumpyRandomRule(_ImportTracking):
+    """D002: legacy/global ``numpy.random`` API.
+
+    Only the explicit-state constructors (``Generator``, ``PCG64``,
+    ``PCG64DXSM``, ``SeedSequence``) are allowed; ``np.random.seed``,
+    ``np.random.rand`` and friends mutate or read the module-global
+    ``RandomState``, and ``default_rng()`` hides the bit-generator choice
+    behind a NumPy version default.
+    """
+
+    code = "D002"
+    name = "numpy-random"
+    hint = "use np.random.Generator(np.random.PCG64(seed))"
+    node_types = (ast.Call, ast.ImportFrom)
+
+    _ALLOWED = frozenset({"Generator", "PCG64", "PCG64DXSM", "SeedSequence"})
+
+    def visit_node(self, node: ast.AST, ctx: LintContext) -> Iterable[Finding]:
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "numpy.random" and node.level == 0:
+                for alias in node.names:
+                    if alias.name not in self._ALLOWED:
+                        yield self.finding(ctx, node, (
+                            f"'from numpy.random import {alias.name}' binds "
+                            "the legacy global-state API"
+                        ))
+            return
+        name = dotted_name(node.func)
+        if name is None or "." not in name:
+            return
+        base, _, attr = name.rpartition(".")
+        parts = base.split(".")
+        is_np_random = (
+            base in self.nprandom_aliases
+            or (len(parts) == 2 and parts[0] in self.numpy_aliases
+                and parts[1] == "random")
+        )
+        if is_np_random and attr not in self._ALLOWED:
+            yield self.finding(ctx, node, (
+                f"np.random.{attr}() uses numpy's module-global RandomState "
+                "(or a version-dependent default bit generator)"
+            ))

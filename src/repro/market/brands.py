@@ -8,7 +8,7 @@ brands), so the catalog carries extras like Chanel and Hollister.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.util.ids import slugify

@@ -10,8 +10,8 @@ purchase-pair technique measures.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
 
 from repro.util.simtime import SimDate
 from repro.web.domains import Domain

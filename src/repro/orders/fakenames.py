@@ -12,7 +12,6 @@ with a real account.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
 
 from repro.util.rng import RandomStreams
 

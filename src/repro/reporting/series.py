@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import io
-from typing import Dict, List, Mapping, Sequence
+from typing import Mapping, Sequence
 
 from repro.util.simtime import SimDate
 

@@ -12,7 +12,6 @@ from __future__ import annotations
 import re
 from typing import Iterable, List, Set
 
-from repro.util.simtime import SimDate
 from repro.web.urls import parse_url
 
 _SLUG_PATH_RE = re.compile(r"^/([a-z0-9-]+?)(?:-\d+)*\.html$")

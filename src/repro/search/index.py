@@ -16,8 +16,8 @@ or worse, a recycled — entry.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -52,6 +52,10 @@ class IndexedEntry:
     #: why doorways interleave with (rather than dominate) legitimate
     #: results.
     authority_factor: float = 1.0
+    #: Stable per-index identity, assigned once by :meth:`SearchIndex.add`.
+    #: Unlike ``id()`` it is never recycled, so removal sets keyed on it
+    #: cannot alias a dead entry to a newly allocated one.
+    entry_key: Optional[int] = None
 
     @property
     def authority(self) -> float:
@@ -124,9 +128,12 @@ class TermColumns:
         #: Signals that expose (schedule, quality) structure — every page
         #: of a (campaign, vertical) shares one schedule — are grouped so
         #: serving evaluates each schedule once and broadcasts over the
-        #: member qualities; opaque signal callables stay on the per-entry
-        #: fallback path (``seo_positions``/``seo_signals``).
-        grouped: Dict[int, Tuple[Callable, List[int], List[float]]] = {}
+        #: member qualities; opaque signal callables, and schedules without
+        #: a stable ``group_key``, stay on the per-entry fallback path
+        #: (``seo_positions``/``seo_signals``).  Grouping is keyed by the
+        #: schedule's ``group_key`` — never ``id()``, which CPython recycles
+        #: across allocations (the PR 1 stale-cache bug class).
+        grouped: Dict[str, Tuple[Callable, List[int], List[float]]] = {}
         generic_pos: List[int] = []
         generic_sig: List[SeoSignal] = []
         for i, e in enumerate(self.entries):
@@ -135,15 +142,20 @@ class TermColumns:
                 continue
             schedule = getattr(sig, "schedule", None)
             quality = getattr(sig, "quality", None)
-            if schedule is not None and quality is not None:
-                group = grouped.get(id(schedule))
+            group_key = getattr(schedule, "group_key", None)
+            if schedule is not None and quality is not None and group_key is not None:
+                group = grouped.get(group_key)
                 if group is None:
-                    grouped[id(schedule)] = group = (schedule.level, [], [])
+                    grouped[group_key] = group = (schedule.level, [], [])
                 group[1].append(i)
                 group[2].append(quality)
             else:
                 generic_pos.append(i)
                 generic_sig.append(sig)
+        # Groups form in first-seen entry order — deterministic, and
+        # reordering would change float-accumulation order into the score
+        # array, breaking bit-exact golden SERPs.
+        # repro: allow-D005 grouped dict fills in stable entry order; sorting would break golden SERPs
         self.seo_groups = tuple(
             (level, np.asarray(pos, dtype=np.intp), np.asarray(q, dtype=np.float64))
             for level, pos, q in grouped.values()
@@ -164,8 +176,14 @@ class SearchIndex:
         #: Per-term mutation counters; the columnar cache is keyed on them.
         self._versions: Dict[str, int] = {}
         self._columns: Dict[str, Tuple[int, TermColumns]] = {}
+        #: Monotonic source of :attr:`IndexedEntry.entry_key` values; never
+        #: reused, unlike ``id()``.
+        self._next_entry_key = 0
 
     def add(self, term: str, entry: IndexedEntry) -> IndexedEntry:
+        if entry.entry_key is None:
+            entry.entry_key = self._next_entry_key
+            self._next_entry_key += 1
         self._by_term.setdefault(term, []).append(entry)
         self._by_host.setdefault(entry.host, []).append(entry)
         self._versions[term] = self._versions.get(term, 0) + 1
@@ -222,9 +240,9 @@ class SearchIndex:
         the stronger of the two search penalties).  Returns count removed."""
         removed = self._by_host.pop(host, [])
         if removed:
-            doomed = set(id(e) for e in removed)
+            doomed = {e.entry_key for e in removed}
             for term, entries in self._by_term.items():
-                kept = [e for e in entries if id(e) not in doomed]
+                kept = [e for e in entries if e.entry_key not in doomed]
                 if len(kept) != len(entries):
                     self._by_term[term] = kept
                     self._versions[term] = self._versions.get(term, 0) + 1

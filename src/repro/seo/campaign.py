@@ -15,7 +15,7 @@ search index, domain registration, the compromise pool, and the event log.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.util.ids import slugify
 from repro.util.rng import RandomStreams
@@ -185,6 +185,10 @@ class Campaign:
                 peak_level=self.spec.peak_level * self._rng.uniform(0.85, 1.1),
                 background=self.spec.background_level,
                 main_start_offset=self.spec.main_burst_start_offset,
+                # Campaign-qualified so no two live schedules ever share a
+                # grouping key (the stream name above is only unique within
+                # this campaign's RNG subtree).
+                group_key=f"{self.spec.name}:{vertical_name}",
             )
             if shutdown is not None:
                 schedule.shutdown(shutdown)

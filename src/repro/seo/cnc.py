@@ -10,8 +10,8 @@ campaign's storefronts, Section 3.1.2.)
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.util.simtime import SimDate
 

@@ -10,7 +10,7 @@ compromise from the owner and defeats Google's root-only "hacked" labeling.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 from repro.util.ids import slugify

@@ -38,12 +38,18 @@ class EffortSchedule:
     """Piecewise SEO effort level over time for one (campaign, vertical)."""
 
     def __init__(self, bursts: Sequence[Burst], background: float = 0.08,
-                 shutdown_day: Optional[SimDate] = None):
+                 shutdown_day: Optional[SimDate] = None,
+                 group_key: Optional[str] = None):
         self.bursts = sorted(bursts, key=lambda b: b.start.ordinal)
         self.background = background
         #: Campaigns sometimes stop SEO entirely (the KEY campaign's PSR
         #: collapse in mid-December, Section 5.2.1).
         self.shutdown_day = shutdown_day
+        #: Stable identity for signal grouping in the search index; must be
+        #: unique per schedule (campaign-qualified).  ``None`` opts the
+        #: schedule's entries out of grouping — never keyed by ``id()``,
+        #: which CPython recycles (the PR 1 cache-staleness class).
+        self.group_key = group_key
         self._cache: Dict[int, float] = {}
 
     def level(self, day) -> float:
@@ -84,6 +90,7 @@ def random_schedule(
     background: float = 0.08,
     burst_count: Optional[int] = None,
     main_start_offset: Optional[int] = None,
+    group_key: Optional[str] = None,
 ) -> EffortSchedule:
     """Generate a schedule whose main burst lasts roughly ``peak_days_hint``
     days (Table 2's per-campaign peak durations seed this).
@@ -108,4 +115,4 @@ def random_schedule(
         start = window.start + rng.randint(0, max(0, total_days - duration - 1))
         level = peak_level * rng.uniform(0.5, 0.9)
         bursts.append(Burst(start=start, duration_days=duration, level=level))
-    return EffortSchedule(bursts, background=background)
+    return EffortSchedule(bursts, background=background, group_key=group_key)

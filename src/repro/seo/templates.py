@@ -20,10 +20,10 @@ from one store are similar, not identical.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
 from repro.html.builder import PageBuilder
-from repro.html.nodes import Element, Text
+from repro.html.nodes import Element
 from repro.util.ids import slugify
 from repro.util.rng import RandomStreams
 

@@ -86,13 +86,18 @@ class DomainRegistry:
         return len(self._domains)
 
     def all(self) -> List[Domain]:
-        return list(self._domains.values())
+        """Every registered domain, sorted by name (not registration order,
+        so consumers cannot silently depend on insertion order)."""
+        return sorted(self._domains.values(), key=lambda d: d.name)
 
     def seized(self, as_of: Optional[SimDate] = None) -> List[Domain]:
-        out = []
-        for domain in self._domains.values():
-            if domain.seizure is None:
-                continue
-            if as_of is None or domain.seizure.day <= as_of:
-                out.append(domain)
-        return out
+        """Seized domains (optionally as of a day), sorted by name."""
+        return sorted(
+            (
+                domain
+                for domain in self._domains.values()
+                if domain.seizure is not None
+                and (as_of is None or domain.seizure.day <= as_of)
+            ),
+            key=lambda d: d.name,
+        )

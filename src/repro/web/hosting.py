@@ -48,9 +48,12 @@ class Web:
         return self._sites.get(host.lower())
 
     def sites(self, kind: Optional[SiteKind] = None) -> List[Site]:
-        if kind is None:
-            return list(self._sites.values())
-        return [s for s in self._sites.values() if s.kind == kind]
+        """Sites (optionally filtered by kind), sorted by host so the
+        listing never depends on registration order."""
+        selected = (
+            s for s in self._sites.values() if kind is None or s.kind == kind
+        )
+        return sorted(selected, key=lambda s: s.host)
 
     def __len__(self) -> int:
         return len(self._sites)

@@ -7,7 +7,6 @@ scenario seed.
 
 from __future__ import annotations
 
-from typing import List, Optional
 
 from repro.util.ids import slugify
 from repro.util.rng import RandomStreams

@@ -22,7 +22,6 @@ from repro.html.builder import PageBuilder
 from repro.util.ids import slugify
 from repro.util.rng import RandomStreams
 from repro.util.simtime import SimDate
-from repro.web.domains import DomainRegistry
 from repro.web.hosting import Web
 from repro.web.naming import NameForge
 from repro.web.sites import Site, SiteKind, StaticPage

@@ -107,7 +107,8 @@ class Site:
         return self._pages.get(path)
 
     def pages(self) -> List[Page]:
-        return list(self._pages.values())
+        """All pages on the site, sorted by path."""
+        return sorted(self._pages.values(), key=lambda p: p.path)
 
     def paths(self) -> List[str]:
         return sorted(self._pages)

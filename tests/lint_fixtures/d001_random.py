@@ -1,0 +1,20 @@
+"""D001 fixture: stdlib ``random`` discipline (positive/negative/suppressed)."""
+
+import random
+
+
+def bad_global_draw():
+    return random.random()  # finding: module-global RNG
+
+
+def bad_unseeded():
+    return random.Random()  # finding: unseeded construction
+
+
+def ok_instance_draw(rng):
+    return rng.random()  # no finding: draw from an injected stream
+
+
+def waived_seeded():
+    # repro: allow-D001 fixture: seed is an explicit constant, reproducible by construction
+    return random.Random(7)

@@ -1,0 +1,20 @@
+"""D002 fixture: numpy RNG discipline (positive/negative/suppressed)."""
+
+import numpy as np
+
+
+def bad_global_seed():
+    np.random.seed(0)  # finding: module-global RandomState
+
+
+def bad_global_draw():
+    return np.random.rand(3)  # finding: module-global RandomState
+
+
+def ok_generator():
+    return np.random.Generator(np.random.PCG64(7))  # no finding
+
+
+def waived_default_rng():
+    # repro: allow-D002 fixture: version-pinned environment, default bit generator acceptable here
+    return np.random.default_rng(7)

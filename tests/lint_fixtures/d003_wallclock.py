@@ -1,0 +1,25 @@
+"""D003 fixture: wall-clock reads (positive/negative/suppressed)."""
+
+import time
+from datetime import date, datetime
+
+
+def bad_time():
+    return time.time()  # finding: wall clock
+
+
+def bad_now():
+    return datetime.now()  # finding: wall clock
+
+
+def bad_today():
+    return date.today()  # finding: wall clock
+
+
+def ok_monotonic():
+    return time.perf_counter()  # no finding: monotonic perf timer
+
+
+def waived_stamp():
+    # repro: allow-D003 fixture: operational log stamp, never feeds simulation state
+    return time.time_ns()

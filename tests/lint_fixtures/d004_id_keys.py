@@ -1,0 +1,22 @@
+"""D004 fixture: ``id()`` as key/member (positive/negative/suppressed)."""
+
+
+def bad_subscript_key(cache, obj):
+    cache[id(obj)] = obj  # finding: id() as mapping key
+
+
+def bad_id_set(items):
+    return set(id(e) for e in items)  # finding: set of ids
+
+
+def bad_membership(doomed, obj):
+    return id(obj) in doomed  # finding: membership over ids
+
+
+def ok_stable_key(cache, entry):
+    cache[entry.entry_key] = entry  # no finding: stable identity attribute
+
+
+def waived_live_pass(live_nodes):
+    # repro: allow-D004 fixture: every node is strongly referenced for the whole pass
+    return {id(n) for n in live_nodes}

@@ -1,0 +1,29 @@
+"""D005 fixture: unordered iteration -> ordered output (pos/neg/suppressed)."""
+
+
+def bad_list_of_values(mapping):
+    return list(mapping.values())  # finding: view order into a list
+
+
+def bad_join_over_set(items):
+    return ",".join(str(x) for x in set(items))  # finding: hash order into a string
+
+
+def bad_accumulating_loop(mapping):
+    out = []
+    for value in mapping.values():  # finding: view order accumulated
+        out.append(value)
+    return out
+
+
+def ok_sorted(mapping):
+    return sorted(mapping.values())  # no finding: explicitly sorted
+
+
+def ok_reduction(items):
+    return max(set(items))  # no finding: order-insensitive reduction
+
+
+def waived_insertion_order(mapping):
+    # repro: allow-D005 fixture: insertion order is documented as deterministic here
+    return list(mapping.keys())

@@ -1,0 +1,17 @@
+"""D006 fixture: mutable default arguments (positive/negative/suppressed)."""
+
+
+def bad_accumulator(item, acc=[]):  # finding: shared list default
+    acc.append(item)
+    return acc
+
+
+def ok_none_default(item, acc=None):  # no finding
+    if acc is None:
+        acc = []
+    acc.append(item)
+    return acc
+
+
+def waived_readonly(item, table={}):  # repro: allow-D006 fixture: table is never mutated, read-only lookup
+    return table.get(item)

@@ -1,0 +1,34 @@
+"""D007 fixture: module state written from pool workers (pos/neg/suppressed)."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+RESULTS = []
+TOTALS = {}
+
+
+def bad_worker(item):
+    RESULTS.append(item)  # finding: worker mutates module-level list
+    return item
+
+
+def ok_worker(item):
+    local = [item]
+    local.append(item)  # no finding: local accumulator
+    return local
+
+
+def run(items):
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        list(pool.map(bad_worker, items))
+        return list(pool.map(ok_worker, items))
+
+
+def waived_worker(item):
+    # repro: allow-D007 fixture: writes are disjoint per item and merged under a lock elsewhere
+    TOTALS[item] = item
+    return item
+
+
+def run_waived(items):
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        return list(pool.map(waived_worker, items))

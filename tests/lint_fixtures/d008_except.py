@@ -1,0 +1,38 @@
+"""D008 fixture: swallowed exceptions (positive/negative/suppressed)."""
+
+
+def bad_bare(fetch, url):
+    try:
+        return fetch(url)
+    except:  # finding: bare except
+        return None
+
+
+def bad_silent(fetch, url):
+    try:
+        fetch(url)
+    except Exception:  # finding: silent pass
+        pass
+
+
+def ok_specific(fetch, url):
+    try:
+        return fetch(url)
+    except ValueError:
+        return None
+
+
+def ok_handled(fetch, url, failures):
+    try:
+        return fetch(url)
+    except Exception as exc:
+        failures.append(exc)  # no finding: failure is recorded
+        return None
+
+
+def waived_probe(fetch, url):
+    try:
+        fetch(url)
+    # repro: allow-D008 fixture: best-effort probe, failures intentionally ignored
+    except Exception:
+        pass

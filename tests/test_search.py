@@ -105,6 +105,45 @@ class TestIndex:
     def test_len(self, index):
         assert len(index) == 30
 
+    def test_entry_keys_stable_and_unique(self, index):
+        keys = [e.entry_key for e in index.candidates("cheap uggs")]
+        assert all(k is not None for k in keys)
+        assert len(set(keys)) == len(keys)
+
+    def test_deindex_then_readd_cycle(self, registry, day0):
+        """Index-layer mirror of the PR 1 engine-layer fix: removal must be
+        keyed by stable entry identity, so a host deindexed and re-added
+        (new entry objects, possibly id()-recycled) serves exactly the new
+        entries — and only those."""
+        index = SearchIndex()
+        stable = _site(registry, "stays.com", 0.5, day0)
+        index.add_page("cheap uggs", stable, "/", relevance=0.6)
+        doomed = _site(registry, "doomed.com", 0.9, day0)
+        index.add_page("cheap uggs", doomed, "/", relevance=0.9)
+        index.add_page("uggs outlet", doomed, "/sale", relevance=0.8)
+
+        # Materialize columns, then deindex: every term the host served
+        # must drop it, and the columnar view must rebuild.
+        before = index.columns("cheap uggs")
+        assert len(before) == 2
+        assert index.remove_host("doomed.com") == 2
+        assert index.entries_for_host("doomed.com") == []
+        for term in ("cheap uggs", "uggs outlet"):
+            assert all(e.host != "doomed.com" for e in index.candidates(term))
+
+        # Re-add the same host as fresh entry objects: the old entries'
+        # removal must not leak onto the newcomers, and the stale columns
+        # must not be served.
+        revived = Site(registry.get("doomed.com"), SiteKind.LEGITIMATE,
+                       authority=0.7, created_on=day0)
+        new_entry = index.add_page("cheap uggs", revived, "/v2", relevance=0.7)
+        old_keys = {e.entry_key for e in before.entries}
+        assert new_entry.entry_key not in old_keys
+        after = index.columns("cheap uggs")
+        assert after is not before
+        assert [e.path for e in after.entries if e.host == "doomed.com"] == ["/v2"]
+        assert len(index.candidates("cheap uggs")) == 2
+
 
 class TestEngine:
     def test_serp_deterministic(self, index, streams, day0):

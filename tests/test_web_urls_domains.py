@@ -106,3 +106,18 @@ class TestDomainRegistry:
         a.seize(SeizureRecord(day=day0 + 5, case_id="c", firm="GBC", brand="Nike"))
         assert registry.seized(as_of=day0 + 4) == []
         assert [d.name for d in registry.seized(as_of=day0 + 5)] == ["a.com"]
+
+    def test_listings_sorted_by_name(self, day0):
+        """The D005 contract: listing APIs return name order, not insertion
+        order, so consumers cannot silently depend on registration order."""
+        registry = DomainRegistry()
+        for name in ("zeta.com", "alpha.com", "mid.com"):
+            registry.register(name, day0)
+        for name in ("zeta.com", "alpha.com"):
+            registry.get(name).seize(SeizureRecord(
+                day=day0 + 1, case_id="c", firm="GBC", brand="Nike",
+            ))
+        assert [d.name for d in registry.all()] == [
+            "alpha.com", "mid.com", "zeta.com",
+        ]
+        assert [d.name for d in registry.seized()] == ["alpha.com", "zeta.com"]
