@@ -1,0 +1,65 @@
+"""Multiprocess ablation sweep: jobs=1 vs jobs=N wall-clock.
+
+Runs the eight intervention-policy counterfactuals
+(``repro.analysis.ablations.VARIANT_ORDER``) sequentially and then
+through the worker pool, asserts the outcomes are identical in the
+deterministic variant order either way, and records both wall times into
+``BENCH_ablations.json``.
+
+Knobs: ``REPRO_BENCH_ABLATION_DAYS`` (window length, default 40 — long
+enough that per-variant work dominates fork/pickle overhead) and
+``REPRO_BENCH_JOBS`` (pool size, default 4).  The CI smoke shrinks both.
+
+No absolute-time assertions, and no speedup floor either: the pool can
+only beat sequential when there are cores to spread over — on a 1-vCPU
+box (this repo's usual bench host) ``pool_speedup`` lands *below* 1x,
+which is the hardware, not the code.  The JSON therefore records
+``cpus`` alongside the ratio so readers can interpret it.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.analysis.ablations import VARIANT_ORDER, run_intervention_ablations
+from repro.ecosystem import small_preset
+
+from benchlib import print_comparison, write_bench_json
+
+DAYS = int(os.environ.get("REPRO_BENCH_ABLATION_DAYS", "40"))
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "4"))
+
+
+def _factory():
+    return small_preset(days=DAYS)
+
+
+def test_ablation_pool_scaling():
+    t0 = time.perf_counter()
+    sequential = run_intervention_ablations(_factory, jobs=1)
+    total_s_jobs1 = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    pooled = run_intervention_ablations(_factory, jobs=JOBS)
+    total_s_pooled = time.perf_counter() - t0
+
+    assert [o.name for o in sequential] == list(VARIANT_ORDER)
+    assert [o.name for o in pooled] == list(VARIANT_ORDER)
+    assert pooled == sequential, "pool changed ablation outcomes"
+
+    speedup = total_s_jobs1 / total_s_pooled
+    write_bench_json("ablations", {
+        "days": DAYS,
+        "jobs": JOBS,
+        "cpus": os.cpu_count(),
+        "variants": list(VARIANT_ORDER),
+        "total_s_jobs1": total_s_jobs1,
+        f"total_s_jobs{JOBS}": total_s_pooled,
+        "pool_speedup": speedup,
+    })
+    print_comparison("Intervention ablations (8 variants)", [
+        ("jobs=1", "-", f"{total_s_jobs1:.2f}s"),
+        (f"jobs={JOBS}", "-", f"{total_s_pooled:.2f}s"),
+        (f"speedup ({os.cpu_count()} cpus)", "-", f"{speedup:.2f}x"),
+    ])

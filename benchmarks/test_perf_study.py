@@ -1,46 +1,104 @@
-"""End-to-end study timing: where a full run's wall-clock goes.
+"""End-to-end study timing: the content-addressed caches' headline A/B.
 
-Runs the small-preset pipeline once (simulation, crawl, test orders,
-classification, attribution) and records total wall time plus the hot-path
-breakdown from the always-on :data:`repro.util.perf.PERF` registry —
-the same numbers ``python -m repro perf`` prints — into
-``BENCH_study.json``.
+Runs the full pipeline (simulation, crawl, test orders, classification,
+attribution) twice over the identical scenario — once under
+``caches_disabled()`` and once with the caches live — and records both
+wall times, their ratio, the hot-path breakdown from the always-on
+:data:`repro.util.perf.PERF` registry, and the cache hit/miss/evict
+counters into ``BENCH_study.json``.
 
-A second, classification-only pass measures the classifier-fit speedup
-from ``n_jobs`` threads; attributions must be identical either way
-(``tests/test_serp_determinism.py`` pins that), so only the timing is
-recorded here.
+The two legs must produce *byte-identical* PSR dumps: caching changes
+wall-clock, never results.  That equivalence is asserted here on the big
+preset as well as in ``tests/test_perf_cache.py`` on the small one.
 
-No timing assertions: CI boxes vary.  The JSON is the artifact.
+Default configuration is the paper preset at the benchmark scale
+(0.25 census, 8 terms/vertical, 3-day stride — mirrors
+``benchmarks/conftest.py``).  The CI smoke sets
+``REPRO_BENCH_STUDY_PRESET=small`` to keep the job short; other knobs:
+``REPRO_BENCH_SCALE``, ``REPRO_BENCH_TERMS``, ``REPRO_BENCH_STUDY_DAYS``
+(small preset window), ``REPRO_BENCH_JOBS``.
+
+A classification-only pass also measures the classifier-fit speedup from
+``n_jobs`` threads; coefficients are identical either way
+(``tests/test_classify.py`` pins that), so only the timing is recorded.
+
+The speedup floor is asserted only at the default configuration and well
+under the measured ratio so CI noise cannot flake the suite; the JSON is
+the artifact.
 """
 
 from __future__ import annotations
 
+import gc
 import os
 import time
 
 from repro.classify.pipeline import CampaignClassifier
 from repro.crawler.serp_crawler import CrawlPolicy
-from repro.ecosystem import small_preset
+from repro.ecosystem import paper_preset, small_preset
+from repro.perf.cache import caches_disabled, reset_caches
 from repro.study import StudyRun
 from repro.util.perf import PERF
 
 from benchlib import print_comparison, write_bench_json
 
+PRESET = os.environ.get("REPRO_BENCH_STUDY_PRESET", "paper")
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+TERMS_PER_VERTICAL = int(os.environ.get("REPRO_BENCH_TERMS", "8"))
 DAYS = int(os.environ.get("REPRO_BENCH_STUDY_DAYS", "70"))
 FIT_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "4"))
+AT_DEFAULT = not any(
+    name in os.environ
+    for name in ("REPRO_BENCH_STUDY_PRESET", "REPRO_BENCH_SCALE",
+                 "REPRO_BENCH_TERMS", "REPRO_BENCH_STUDY_DAYS")
+)
 
 
-def test_study_end_to_end_perf():
+def _study_run():
+    if PRESET == "paper":
+        config = paper_preset(scale=SCALE, terms_per_vertical=TERMS_PER_VERTICAL)
+        return StudyRun(config, crawl_policy=CrawlPolicy(stride_days=3),
+                        seed_label_count=491, refinement_rounds=1)
+    return StudyRun(small_preset(days=DAYS),
+                    crawl_policy=CrawlPolicy(stride_days=2))
+
+
+def _timed_leg():
     PERF.reset()
     start = time.perf_counter()
-    results = StudyRun(
-        small_preset(days=DAYS), crawl_policy=CrawlPolicy(stride_days=2)
-    ).execute()
+    results = _study_run().execute()
     total_s = time.perf_counter() - start
-    breakdown = PERF.report()
+    return results, total_s, PERF.report(), PERF.counters()
 
-    # -- classifier-fit thread scaling (identical weights, see tests) ---- #
+
+def test_study_end_to_end_perf(tmp_path):
+    # -- leg 1: caches disabled (the 'before' wall-clock) ---------------- #
+    with caches_disabled():
+        results_plain, total_s_uncached, perf_uncached, _ = _timed_leg()
+    plain_path = os.path.join(str(tmp_path), "plain.jsonl")
+    results_plain.dataset.dump_jsonl(plain_path)
+    # Release leg 1's world before timing leg 2: a couple hundred
+    # thousand retained PSRs tax every GC pass of the cached leg.
+    del results_plain
+    gc.collect()
+
+    # -- leg 2: caches live, cold start --------------------------------- #
+    reset_caches()
+    results, total_s_cached, breakdown, counters = _timed_leg()
+    cache_counters = {name: value for name, value in sorted(counters.items())
+                      if name.startswith("cache.")}
+    speedup = total_s_uncached / total_s_cached
+
+    # -- equivalence: the two legs are byte-identical ------------------- #
+    cached_path = os.path.join(str(tmp_path), "cached.jsonl")
+    results.dataset.dump_jsonl(cached_path)
+    with open(plain_path, "rb") as handle:
+        plain_bytes = handle.read()
+    with open(cached_path, "rb") as handle:
+        cached_bytes = handle.read()
+    assert cached_bytes == plain_bytes, "caching changed the PSR records"
+
+    # -- classifier-fit thread scaling (identical weights, see tests) --- #
     fit_timing = {}
     if results.labeled_pages and len({p.campaign for p in results.labeled_pages}) >= 2:
         for jobs in (1, FIT_JOBS):
@@ -49,15 +107,27 @@ def test_study_end_to_end_perf():
             fit_timing[f"fit_s_jobs{jobs}"] = time.perf_counter() - t0
 
     payload = {
-        "days": DAYS,
+        "preset": PRESET,
+        "cpus": os.cpu_count(),
+        "scale": SCALE if PRESET == "paper" else None,
+        "terms_per_vertical": TERMS_PER_VERTICAL if PRESET == "paper" else None,
+        "days": DAYS if PRESET == "small" else None,
         "psrs": len(results.dataset),
-        "total_s": total_s,
+        "total_s_uncached": total_s_uncached,
+        "total_s_cached": total_s_cached,
+        "cache_speedup": speedup,
         "perf": breakdown,
+        "perf_uncached": perf_uncached,
+        "cache_counters": cache_counters,
         **fit_timing,
     }
     write_bench_json("study", payload)
 
-    rows = [("total", "-", f"{total_s:.2f}s")]
+    rows = [
+        ("total (uncached)", "-", f"{total_s_uncached:.2f}s"),
+        ("total (cached)", "-", f"{total_s_cached:.2f}s"),
+        ("cache speedup", ">=1.5x target", f"{speedup:.2f}x"),
+    ]
     for name in ("simulator.day", "engine.serp", "web.fetch", "classifier.fit"):
         stats = breakdown.get(name)
         if stats:
@@ -73,7 +143,14 @@ def test_study_end_to_end_perf():
                 f"fit n_jobs={FIT_JOBS}", "-",
                 f"{base / threaded:.2f}x vs n_jobs=1",
             ))
-    print_comparison("Study end-to-end (small preset)", rows)
+    print_comparison("Study end-to-end (cached vs uncached)", rows)
 
     assert len(results.dataset) > 0
     assert "engine.serp" in breakdown and "simulator.day" in breakdown
+    hit_counters = [name for name, value in cache_counters.items()
+                    if name.endswith(".hit") and value > 0]
+    assert hit_counters, "cached leg recorded no cache hits"
+    if AT_DEFAULT:
+        # The measured ratio (BENCH_study.json) is the claim; this floor
+        # only guards against the caches silently stopping to matter.
+        assert speedup > 1.2, f"caches only bought {speedup:.2f}x"

@@ -25,14 +25,18 @@ proxy interventions ultimately target):
 
 from __future__ import annotations
 
+import multiprocessing
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Tuple
 
 from repro.ecosystem.config import ScenarioConfig
 from repro.ecosystem.simulator import Simulator
 from repro.crawler.serp_crawler import CrawlPolicy, SearchCrawler
 from repro.interventions.search_ops import SearchOpsPolicy
 from repro.interventions.payments import PaymentPolicy
+from repro.perf.cache import caches_enabled, set_caches_enabled
+from repro.perf.gctune import low_pause_gc
+from repro.util.perf import PERF
 
 
 @dataclass
@@ -69,6 +73,13 @@ def run_ablation(
     name: str, config: ScenarioConfig, crawl_stride: int = 2
 ) -> AblationOutcome:
     """Run one scenario variant and collect the outcome metrics."""
+    with low_pause_gc():
+        return _run_ablation(name, config, crawl_stride)
+
+
+def _run_ablation(
+    name: str, config: ScenarioConfig, crawl_stride: int
+) -> AblationOutcome:
     simulator = Simulator(config)
     world = simulator.build()
     crawler = SearchCrawler(world.web, CrawlPolicy(stride_days=crawl_stride))
@@ -170,12 +181,68 @@ def ablation_variants(
     return variants
 
 
+#: Fixed reporting order: 'baseline' first, counterfactuals after.
+VARIANT_ORDER = (
+    "baseline", "no-interventions", "full-path-labels",
+    "interstitial-labels", "reactive-seizures", "aggressive-demotion",
+    "doorway-seizures", "payment-intervention",
+)
+
+
+def _run_variant(
+    task: Tuple[str, ScenarioConfig, int, bool],
+) -> Tuple[AblationOutcome, Dict[str, int]]:
+    """Pool worker: one variant end to end, in its own process.
+
+    Module-level (picklable) on purpose.  The parent's cache switch rides
+    in the task tuple because a programmatic toggle would not survive a
+    spawn-context child; the worker sends its PERF counters back so cache
+    hit rates from all processes land in the parent registry.
+    """
+    name, config, crawl_stride, cache_on = task
+    set_caches_enabled(cache_on)
+    # A fork-context child inherits the parent's registry; reset so the
+    # counters sent back are this variant's own, not the session's total
+    # re-merged once per worker.
+    PERF.reset()
+    outcome = run_ablation(name, config, crawl_stride)
+    return outcome, PERF.counters()
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer fork (cheap, inherits warm module caches); spawn elsewhere."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return multiprocessing.get_context("spawn")
+
+
 def run_intervention_ablations(
-    base_factory: Callable[[], ScenarioConfig], crawl_stride: int = 2
+    base_factory: Callable[[], ScenarioConfig],
+    crawl_stride: int = 2,
+    jobs: int = 1,
 ) -> List[AblationOutcome]:
-    """Run every standard variant; 'baseline' comes first."""
+    """Run every standard variant; 'baseline' comes first.
+
+    ``jobs > 1`` fans the variants out over a ``multiprocessing`` pool —
+    each run is an independent simulation over its own picklable
+    :class:`ScenarioConfig`, and simulation is CPU-bound Python, so
+    processes (not GIL-bound threads) are what helps.  ``Pool.map``
+    returns results in submission order, so the outcome list is identical
+    for any job count; a test pins that, along with outcome equality
+    against the sequential path.
+    """
     variants = ablation_variants(base_factory)
-    order = ["baseline", "no-interventions", "full-path-labels",
-             "interstitial-labels", "reactive-seizures", "aggressive-demotion",
-             "doorway-seizures", "payment-intervention"]
-    return [run_ablation(name, variants[name], crawl_stride) for name in order]
+    if jobs <= 1:
+        return [run_ablation(name, variants[name], crawl_stride)
+                for name in VARIANT_ORDER]
+    tasks = [(name, variants[name], crawl_stride, caches_enabled())
+             for name in VARIANT_ORDER]
+    with _pool_context().Pool(processes=min(jobs, len(tasks))) as pool:
+        paired = pool.map(_run_variant, tasks)
+    # Fold worker-side cache counters into the parent registry (integer
+    # sums commute, so the merged totals are schedule-independent).
+    for _, counters in paired:
+        for name, value in sorted(counters.items()):
+            PERF.count(name, value)
+    return [outcome for outcome, _ in paired]

@@ -18,7 +18,7 @@ import numpy as np
 from scipy import sparse
 
 from repro.html.nodes import Comment, Element
-from repro.html.parser import parse_html
+from repro.perf.cache import LRUCache, parse_html_cached
 
 _MAX_VALUE_LEN = 48
 _HOST_RE = re.compile(r"^https?://[^/]+")
@@ -37,9 +37,22 @@ def _normalize_value(attr: str, value: str) -> str:
     return value
 
 
+#: Feature Counters cached by content hash: attribution re-extracts the
+#: same archived store/doorway pages every refinement round.
+_FEATURE_CACHE = LRUCache("features", maxsize=32768)
+
+
 def extract_features(html: str) -> Counter:
-    """Tag-attribute-value bag of words for one page."""
-    doc = parse_html(html)
+    """Tag-attribute-value bag of words for one page.
+
+    Content-addressed: the returned Counter is shared between callers with
+    identical HTML and must be treated as read-only (the training and
+    attribution paths only read it into sparse matrices)."""
+    return _FEATURE_CACHE.memo_html(html, _extract_features)
+
+
+def _extract_features(html: str) -> Counter:
+    doc = parse_html_cached(html)
     features: Counter = Counter()
     for node in doc.root.iter():
         tag = node.tag

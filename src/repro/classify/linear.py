@@ -69,7 +69,20 @@ class L1LogisticRegression:
         return grad_w, grad_b
 
     def fit(self, X, y: Sequence[int]) -> "L1LogisticRegression":
-        """X: (n, d) sparse or dense; y: labels in {-1, +1} (or {0, 1})."""
+        """X: (n, d) sparse or dense; y: labels in {-1, +1} (or {0, 1}).
+
+        The proximal loop carries the whole-matrix products ``X @ w + b``
+        and ``|w|_1`` across iterations instead of recomputing them inside
+        :meth:`_objective` / :meth:`_gradient`: the gradient's matvec
+        reuses the margins computed when the iterate was accepted, cutting
+        a third of the matvecs per iteration and keeping the per-class
+        fits inside GIL-releasing BLAS/SciPy kernels (which is what lets
+        ``OneVsRestL1Logistic``'s thread pool scale at small problem
+        sizes).  Recomputing ``X @ w + b`` with identical inputs yields
+        identical bits, so coefficients are bit-identical to the
+        unfactored loop — a test asserts this against a line-for-line
+        reference implementation.
+        """
         y = np.asarray(y, dtype=np.float64)
         unique = set(np.unique(y).tolist())
         if unique <= {0.0, 1.0}:
@@ -77,26 +90,34 @@ class L1LogisticRegression:
         elif not unique <= {-1.0, 1.0}:
             raise ValueError(f"labels must be binary, got {sorted(unique)}")
         n, d = X.shape
+        lam = self.lam
         w = np.zeros(d)
         b = 0.0
         step = 1.0
-        objective = self._objective(X, y, w, b)
+        Xwb = X @ w + b
+        l1 = float(np.abs(w).sum())
+        objective = float(np.mean(_log1pexp(-y * Xwb))) + lam * l1
         for iteration in range(self.max_iter):
-            grad_w, grad_b = self._gradient(X, y, w, b)
+            z = y * Xwb
+            coeff = -y * _sigmoid(-z) / len(y)
+            grad_w = np.asarray(X.T @ coeff).ravel()
+            grad_b = float(np.sum(coeff))
             # Backtracking proximal step.
             improved = False
             for _ in range(40):
                 w_new = soft_threshold(w - step * grad_w, step * self.lam)
                 b_new = b - step * grad_b
-                new_objective = self._objective(X, y, w_new, b_new)
+                Xwb_new = X @ w_new + b_new
+                l1_new = float(np.abs(w_new).sum())
+                new_objective = float(np.mean(_log1pexp(-y * Xwb_new))) + lam * l1_new
                 delta = w_new - w
                 quad = (
                     objective
-                    - self.lam * float(np.abs(w).sum())
+                    - self.lam * l1
                     + float(grad_w @ delta)
                     + grad_b * (b_new - b)
                     + (float(delta @ delta) + (b_new - b) ** 2) / (2 * step)
-                    + self.lam * float(np.abs(w_new).sum())
+                    + self.lam * l1_new
                 )
                 if new_objective <= quad + 1e-12:
                     improved = True
@@ -104,13 +125,13 @@ class L1LogisticRegression:
                 step *= 0.5
             if not improved:
                 break
-            if objective - new_objective < self.tol * max(1.0, abs(objective)):
-                w, b, objective = w_new, b_new, new_objective
-                self.n_iter_ = iteration + 1
-                break
+            converged = objective - new_objective < self.tol * max(1.0, abs(objective))
             w, b, objective = w_new, b_new, new_objective
-            step = min(step * 1.5, 1e4)  # gentle step recovery
+            Xwb, l1 = Xwb_new, l1_new
             self.n_iter_ = iteration + 1
+            if converged:
+                break
+            step = min(step * 1.5, 1e4)  # gentle step recovery
         self.weights = w
         self.bias = b
         return self

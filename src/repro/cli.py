@@ -40,6 +40,7 @@ from repro.lint import (
     select_rules,
     write_summary,
 )
+from repro.perf.cache import set_caches_enabled
 from repro.reporting import render_table, sparkline_row
 from repro.util.perf import PERF
 
@@ -61,10 +62,17 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=None, help="scenario seed")
     run.add_argument("--jobs", type=int, default=1,
                      help="threads for classifier fits (same results any value)")
+    run.add_argument("--no-cache", action="store_true",
+                     help="disable the content-addressed caches (bit-identical, slower)")
     run.add_argument("--out", default="study-output", help="output directory")
 
     ablations = sub.add_parser("ablations", help="run intervention counterfactuals")
     ablations.add_argument("--days", type=int, default=70, help="window length")
+    ablations.add_argument("--jobs", type=int, default=1,
+                           help="worker processes, one variant each "
+                                "(same outcomes, same order, any value)")
+    ablations.add_argument("--no-cache", action="store_true",
+                           help="disable the content-addressed caches")
 
     perf = sub.add_parser(
         "perf", help="run a study and print the hot-path perf breakdown"
@@ -78,6 +86,8 @@ def _build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--seed", type=int, default=None, help="scenario seed")
     perf.add_argument("--jobs", type=int, default=1,
                       help="threads for classifier fits (same results any value)")
+    perf.add_argument("--no-cache", action="store_true",
+                      help="disable the content-addressed caches (for A/B timing)")
     perf.add_argument("--json", default=None, metavar="PATH",
                       help="also dump the registry snapshot as JSON")
 
@@ -109,6 +119,8 @@ def _config_for(args):
 
 
 def command_run(args) -> int:
+    if args.no_cache:
+        set_caches_enabled(False)
     config = _config_for(args)
     print(f"Running {args.preset} preset "
           f"({len(config.verticals)} verticals, "
@@ -195,9 +207,13 @@ def command_run(args) -> int:
 
 
 def command_ablations(args) -> int:
-    print(f"Running intervention ablations over a {args.days}-day window...",
-          flush=True)
-    outcomes = run_intervention_ablations(lambda: small_preset(days=args.days))
+    if args.no_cache:
+        set_caches_enabled(False)
+    print(f"Running intervention ablations over a {args.days}-day window "
+          f"(jobs={args.jobs})...", flush=True)
+    outcomes = run_intervention_ablations(
+        lambda: small_preset(days=args.days), jobs=args.jobs
+    )
     baseline = outcomes[0]
     print(render_table(
         ["Policy", "Orders", "vs base", "Sales", "vs base", "PSRs", "Seized"],
@@ -209,10 +225,13 @@ def command_ablations(args) -> int:
 
 
 def command_perf(args) -> int:
+    if args.no_cache:
+        set_caches_enabled(False)
     config = _config_for(args)
     print(f"Profiling {args.preset} preset "
           f"({len(config.verticals)} verticals, {len(config.window)} days, "
-          f"jobs={args.jobs})...", flush=True)
+          f"jobs={args.jobs}, cache={'off' if args.no_cache else 'on'})...",
+          flush=True)
     PERF.reset()
     StudyRun(
         config, crawl_policy=CrawlPolicy(stride_days=args.stride),

@@ -18,22 +18,33 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Optional, Set
+from typing import FrozenSet, Optional, Set
 
 from repro.util.simtime import SimDate
 from repro.web.fetch import CRAWLER, Response, SEARCH_USER
 from repro.web.hosting import Web
 from repro.web.urls import parse_url, registered_domain
-from repro.html.parser import parse_html
+from repro.perf.cache import LRUCache, parse_html_cached
 
 _TOKEN_RE = re.compile(r"[a-z0-9]{2,}")
 
+#: Shingle sets are tiny (a few hundred interned tokens), so the cache can
+#: run deep; the measurement crawler re-shingles known-cloaked landing
+#: pages on every visit otherwise.
+_SHINGLE_CACHE = LRUCache("shingle", maxsize=32768)
+
+
+def _build_shingle(html: str) -> FrozenSet[str]:
+    text = parse_html_cached(html).text_content()
+    return frozenset(_TOKEN_RE.findall(text.lower()))
+
 
 def text_shingle(html: str) -> Set[str]:
-    """Lowercased word-token set of a page's visible text plus title."""
-    doc = parse_html(html)
-    text = doc.text_content()
-    return set(_TOKEN_RE.findall(text.lower()))
+    """Lowercased word-token set of a page's visible text plus title.
+
+    Content-addressed: repeated shingles of byte-identical HTML come from
+    the cache (the returned frozenset is shared — don't mutate)."""
+    return _SHINGLE_CACHE.memo_html(html, _build_shingle)
 
 
 def jaccard(a: Set[str], b: Set[str]) -> float:

@@ -14,10 +14,9 @@ from typing import List, Optional
 
 from repro.util.simtime import SimDate
 from repro.html.nodes import Document, Element
-from repro.html.parser import parse_html
+from repro.perf.cache import render_document_cached
 from repro.web.fetch import RENDERING_CRAWLER, Response, SEARCH_USER
 from repro.web.hosting import Web
-from repro.web.render import render_document
 
 MIN_FULLPAGE_PIXELS = 800
 
@@ -66,7 +65,10 @@ class VanGogh:
         response = self.web.fetch(url, RENDERING_CRAWLER, day)
         if not response.ok:
             return VanGoghResult(url, False, None, None, 0)
-        rendered = render_document(parse_html(response.html))
+        # Cached on (content hash, profile): identical cloaked payloads —
+        # the common case for doorways re-checked across crawl days — skip
+        # the parse + script-execution pass entirely.
+        rendered = render_document_cached(response.html, RENDERING_CRAWLER)
         fullpage = find_fullpage_iframes(rendered)
         if not fullpage:
             return VanGoghResult(

@@ -4,6 +4,11 @@ Handles the HTML our generator emits plus common sloppiness (unquoted
 attributes, unclosed tags, stray close tags) so the crawlers can parse pages
 without ever raising.  ``script`` and ``style`` contents are treated as raw
 text, which matters because iframe-cloaking JavaScript lives there.
+
+``parse_html`` stays a pure function: the content-addressed memoized
+wrapper lives in :mod:`repro.perf.cache` (``parse_html_cached``), and
+callers that mutate their parse results must keep using this module
+directly so shared cached Documents stay frozen.
 """
 
 from __future__ import annotations

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.html.builder import PageBuilder
-from repro.html.parser import parse_html
+from repro.perf.cache import LRUCache, parse_html_cached
 
 
 @dataclass
@@ -50,9 +50,22 @@ def build_notice_page(info: NoticeInfo) -> str:
     return page.html()
 
 
+#: Both outcomes cache: every crawled landing page gets a notice check, so
+#: the (far more common) ``None`` verdicts are worth remembering too.
+_NOTICE_CACHE = LRUCache("notice", maxsize=16384)
+
+
 def parse_notice_page(html: str) -> Optional[NoticeInfo]:
-    """Recover case metadata from a notice page; None if not a notice."""
-    doc = parse_html(html)
+    """Recover case metadata from a notice page; None if not a notice.
+
+    Content-addressed: repeated parses of an identical notice (every
+    co-seized domain in a case serves the same schedule) share one
+    NoticeInfo — read-only to callers, like every cached value."""
+    return _NOTICE_CACHE.memo_html(html, _parse_notice_page)
+
+
+def _parse_notice_page(html: str) -> Optional[NoticeInfo]:
+    doc = parse_html_cached(html)
     banner = None
     for el in doc.iter():
         if el.get("id") == "seizure-notice":

@@ -1,0 +1,32 @@
+"""Performance subsystem: content-addressed caches for the crawl hot path.
+
+:mod:`repro.util.perf` holds the always-on timing/counter registry; this
+package holds the caching layer built on top of it (see
+:mod:`repro.perf.cache`) and the scoped GC tune that keeps collector
+pauses off the hot path while the caches are resident
+(:mod:`repro.perf.gctune`).
+"""
+
+from repro.perf.cache import (
+    LRUCache,
+    caches_disabled,
+    caches_enabled,
+    content_key,
+    parse_html_cached,
+    render_document_cached,
+    reset_caches,
+    set_caches_enabled,
+)
+from repro.perf.gctune import low_pause_gc
+
+__all__ = [
+    "LRUCache",
+    "low_pause_gc",
+    "caches_disabled",
+    "caches_enabled",
+    "content_key",
+    "parse_html_cached",
+    "render_document_cached",
+    "reset_caches",
+    "set_caches_enabled",
+]

@@ -1,0 +1,206 @@
+"""Content-addressed caches for the measurement hot path.
+
+Profiling a scale-0.25 study run shows ~53% of wall-clock inside
+``parse_html``: the Dagger/VanGogh crawlers, the seizure-notice miner, and
+the feature extractor each re-parse HTML that the simulated web served
+byte-identically many times over (cloaked pages rotate *content*, not
+markup, only when campaign state changes).  Every cache here is therefore
+**content-addressed**: the key is a BLAKE2b digest of the HTML string
+itself, so a page that changes hashes to a new key and stale derived values
+can never be served — no invalidation protocol is required beyond the hash.
+
+Layers built on this module:
+
+* :func:`parse_html_cached` — the shared DOM cache.  Returned
+  :class:`~repro.html.nodes.Document` objects are shared between callers
+  and MUST be treated as immutable; every consumer wired through it
+  (shingling, feature extraction, notice mining, rendering) only reads.
+* :func:`render_document_cached` — parse + mini-JS render, keyed on
+  ``(content hash, visitor profile)``; the profile rides in the key because
+  a renderer's view is profile-dependent even though the fetched HTML
+  already reflects it.
+* Derived-value caches owned by their consumers (Dagger's shingle sets,
+  the classifier's feature Counters, seizure-notice parses, and the
+  engine's per-day SERP memo) — all built from :class:`LRUCache` or the
+  same counter conventions.
+
+Every cache reports ``cache.<name>.hit`` / ``.miss`` / ``.evict`` counters
+into the :data:`repro.util.perf.PERF` registry, so ``python -m repro perf``
+and ``BENCH_study.json`` carry hit rates alongside the timers.
+
+The whole layer can be switched off — :func:`set_caches_enabled`,
+the :func:`caches_disabled` context manager, or ``REPRO_CACHE=0`` in the
+environment — which is how the benchmarks measure cached vs. uncached runs
+and how the correctness tests prove the two are bit-identical.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from contextlib import contextmanager
+from hashlib import blake2b
+from typing import Any, Callable, Hashable, Iterator, List, Optional
+
+from repro.html.nodes import Document
+from repro.html.parser import parse_html
+from repro.util.perf import PERF
+from repro.web.fetch import VisitorProfile
+from repro.web.render import render_document
+
+#: Global switch.  ``REPRO_CACHE=0`` opts a whole process out (the CI
+#: equivalence jobs use it); tests and benchmarks toggle programmatically.
+_enabled: bool = os.environ.get("REPRO_CACHE", "1") not in ("0", "false", "no")
+
+#: Every LRUCache ever constructed, for :func:`reset_caches`.  Module-level
+#: caches only — per-object caches (the engine's SERP memo) validate
+#: themselves and die with their owner instead of registering here.
+_caches: List["LRUCache"] = []
+
+_MISSING = object()
+
+
+def caches_enabled() -> bool:
+    """Whether the content-addressed caching layer is active."""
+    return _enabled
+
+
+def set_caches_enabled(on: bool) -> bool:
+    """Flip the global cache switch; returns the previous setting.
+
+    Disabling also drops every registered cache's contents so a
+    subsequent re-enable starts cold (the state a fresh process has).
+    """
+    global _enabled
+    previous = _enabled
+    _enabled = bool(on)
+    if not _enabled:
+        reset_caches()
+    return previous
+
+
+@contextmanager
+def caches_disabled() -> Iterator[None]:
+    """Run a block with the caching layer off (and cleared)."""
+    previous = set_caches_enabled(False)
+    try:
+        yield
+    finally:
+        set_caches_enabled(previous)
+
+
+def reset_caches() -> None:
+    """Empty every registered cache (counters in PERF are left alone)."""
+    for cache in _caches:
+        cache.clear()
+
+
+def content_key(html: str) -> bytes:
+    """16-byte BLAKE2b digest of a page's HTML — the cache address."""
+    return blake2b(html.encode("utf-8", "surrogatepass"), digest_size=16).digest()
+
+
+class LRUCache:
+    """Bounded mapping with least-recently-used eviction and PERF counters.
+
+    Instances register their ``cache.<name>.hit/.miss/.evict`` counters at
+    zero on construction so the perf report carries them even before any
+    traffic, and report every event through :data:`PERF` afterwards.
+    """
+
+    __slots__ = ("name", "maxsize", "_data", "_hit", "_miss", "_evict")
+
+    def __init__(self, name: str, maxsize: int):
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.name = name
+        self.maxsize = maxsize
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._hit = f"cache.{name}.hit"
+        self._miss = f"cache.{name}.miss"
+        self._evict = f"cache.{name}.evict"
+        PERF.count(self._hit, 0)
+        PERF.count(self._miss, 0)
+        PERF.count(self._evict, 0)
+        _caches.append(self)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def get_or_build(self, key: Hashable, build: Callable[[Any], Any], arg: Any) -> Any:
+        """Return the cached value for ``key``, building via ``build(arg)``
+        on a miss.  Assumes the caller already checked
+        :func:`caches_enabled` (the wrappers below do)."""
+        data = self._data
+        found = data.get(key, _MISSING)
+        if found is not _MISSING:
+            data.move_to_end(key)
+            PERF.count(self._hit)
+            return found
+        PERF.count(self._miss)
+        value = build(arg)
+        data[key] = value
+        if len(data) > self.maxsize:
+            data.popitem(last=False)
+            PERF.count(self._evict)
+        return value
+
+    def memo_html(self, html: str, build: Callable[[str], Any]) -> Any:
+        """Content-addressed :meth:`get_or_build` for HTML-derived values,
+        with the enabled check folded in: the disabled path is exactly one
+        extra branch over calling ``build`` directly."""
+        if not _enabled:
+            return build(html)
+        return self.get_or_build(content_key(html), build, html)
+
+    def __repr__(self) -> str:
+        return f"LRUCache({self.name!r}, {len(self._data)}/{self.maxsize})"
+
+
+# --------------------------------------------------------------------- #
+# The shared DOM and render caches
+# --------------------------------------------------------------------- #
+
+#: Parsed-DOM cache.  Generated pages run a few KB / a few hundred nodes
+#: (~50 KB of Python objects each), so even the benchmark world's ~40k
+#: distinct pages fit in a couple of GB; undersizing is far worse — at
+#: scale 0.25 a 2048-entry cache *thrashed* (50k evictions, hit rate
+#: under 50%) and re-parsed pages it had just dropped.
+_DOM_CACHE = LRUCache("dom", maxsize=65536)
+
+#: Rendered-view cache (parse + mini-JS execution).  Sized like the DOM
+#: cache: every page the rendering crawler revisits between content
+#: rotations should still be resident.
+_RENDER_CACHE = LRUCache("render", maxsize=65536)
+
+
+def parse_html_cached(html: str) -> Document:
+    """``parse_html`` memoized by content hash.
+
+    The returned Document is shared across callers: treat it as frozen.
+    Consumers that mutate parse results (e.g. ``render_document``'s
+    internal fragment parses) must keep using the pure ``parse_html``.
+    """
+    if not _enabled:
+        return parse_html(html)
+    return _DOM_CACHE.get_or_build(content_key(html), parse_html, html)
+
+
+def _render_build(html: str) -> Document:
+    # render_document only *reads* the source document (it re-parses the
+    # serialized form and mutates that private copy), so the shared DOM
+    # cache is safe to feed it.
+    return render_document(parse_html_cached(html))
+
+
+def render_document_cached(html: str, profile: Optional[VisitorProfile] = None) -> Document:
+    """Parse + render, cached on ``(content hash, visitor profile)``.
+
+    The rendered Document is shared: read-only, like every cached DOM.
+    """
+    if not _enabled:
+        return render_document(parse_html(html))
+    return _RENDER_CACHE.get_or_build((content_key(html), profile), _render_build, html)

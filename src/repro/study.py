@@ -33,6 +33,7 @@ from repro.classify.labeling import (
     build_seed_labels,
 )
 from repro.classify.pipeline import AttributionResult, CampaignClassifier
+from repro.perf.gctune import low_pause_gc
 
 
 @dataclass
@@ -84,6 +85,13 @@ class StudyRun:
         self.n_jobs = n_jobs
 
     def execute(self) -> StudyResults:
+        # Raised GC thresholds for the duration of the run: with the
+        # content-addressed caches resident, default full collections walk
+        # the whole cache on the hot path (see repro.perf.gctune).
+        with low_pause_gc():
+            return self._execute()
+
+    def _execute(self) -> StudyResults:
         simulator = Simulator(self.config)
         world = simulator.build()
         crawler = SearchCrawler(world.web, self.crawl_policy)

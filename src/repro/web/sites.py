@@ -44,7 +44,15 @@ class Page:
 
 
 class StaticPage(Page):
-    """A page with fixed HTML (possibly lazily generated once)."""
+    """A page with fixed HTML (possibly lazily generated once).
+
+    Generator output is memoized behind an explicit sentinel — not the
+    old "re-run while the string is falsy" check, which quietly invoked
+    empty-rendering generators on *every* access.  ``content_version``
+    counts regenerations monotonically, so identity-keyed consumers (the
+    content-addressed caches key on the HTML itself and don't need it)
+    can tell a rebuilt template from the original.
+    """
 
     def __init__(self, path: str, html: str = "", generator: Optional[Callable[[], str]] = None,
                  cookies: tuple = ()):
@@ -52,14 +60,30 @@ class StaticPage(Page):
         if generator is None and not html:
             raise ValueError("StaticPage needs html or a generator")
         self._html = html
+        self._generated = generator is None or bool(html)
         self._generator = generator
         self._cookies = tuple(cookies)
+        #: Bumped by :meth:`regenerate`; starts at 1 (the first content).
+        self.content_version = 1
 
     @property
     def html(self) -> str:
-        if not self._html and self._generator is not None:
+        if not self._generated:
             self._html = self._generator()
+            self._generated = True
         return self._html
+
+    def regenerate(self) -> int:
+        """Drop the memoized content and bump ``content_version``.
+
+        The next :attr:`html` access re-invokes the generator (template
+        rotation); pages built from literal HTML just bump the version.
+        Returns the new version."""
+        if self._generator is not None:
+            self._html = ""
+            self._generated = False
+        self.content_version += 1
+        return self.content_version
 
     def respond(self, profile: VisitorProfile, day: SimDate) -> PageResult:
         return PageResult(html=self.html, cookies=self._cookies)

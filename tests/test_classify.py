@@ -144,6 +144,71 @@ class TestL1Logistic:
             L1LogisticRegression(lam=-1.0)
 
 
+def _reference_fit(lam, max_iter, tol, X, y):
+    """The seed's ISTA loop, line for line: ``_objective``/``_gradient``
+    recompute ``X @ w + b`` from scratch on every call, where the shipped
+    ``fit`` carries the margins across iterations.  Both must land on the
+    same bits."""
+    model = L1LogisticRegression(lam=lam, max_iter=max_iter, tol=tol)
+    y = np.asarray(y, dtype=np.float64)
+    if set(np.unique(y).tolist()) <= {0.0, 1.0}:
+        y = 2.0 * y - 1.0
+    w = np.zeros(X.shape[1])
+    b = 0.0
+    step = 1.0
+    objective = model._objective(X, y, w, b)
+    for _ in range(max_iter):
+        grad_w, grad_b = model._gradient(X, y, w, b)
+        improved = False
+        for _ in range(40):
+            w_new = soft_threshold(w - step * grad_w, step * lam)
+            b_new = b - step * grad_b
+            new_objective = model._objective(X, y, w_new, b_new)
+            delta = w_new - w
+            quad = (
+                objective
+                - lam * float(np.abs(w).sum())
+                + float(grad_w @ delta)
+                + grad_b * (b_new - b)
+                + (float(delta @ delta) + (b_new - b) ** 2) / (2 * step)
+                + lam * float(np.abs(w_new).sum())
+            )
+            if new_objective <= quad + 1e-12:
+                improved = True
+                break
+            step *= 0.5
+        if not improved:
+            break
+        if objective - new_objective < tol * max(1.0, abs(objective)):
+            w, b, objective = w_new, b_new, new_objective
+            break
+        w, b, objective = w_new, b_new, new_objective
+        step = min(step * 1.5, 1e4)
+    return w, b
+
+
+class TestBatchedFitBitIdentity:
+    """The carried-margins proximal loop is bit-identical to the seed's."""
+
+    @pytest.mark.parametrize("lam", [1e-4, 1e-3, 5e-2])
+    def test_weights_bit_identical_to_reference(self, lam):
+        X, y, _ = _toy_problem(n=250, d=30, seed=3)
+        model = L1LogisticRegression(lam=lam, max_iter=200).fit(X, y)
+        ref_w, ref_b = _reference_fit(lam, 200, model.tol, X, y)
+        assert np.array_equal(model.weights, ref_w)
+        assert model.bias == ref_b
+
+    def test_ovr_bit_identical_across_jobs(self):
+        rng = np.random.RandomState(11)
+        X = sparse.csr_matrix(rng.randn(180, 25))
+        labels = [("a", "b", "c")[i % 3] for i in range(180)]
+        seq = OneVsRestL1Logistic(lam=1e-3, n_jobs=1).fit(X, labels)
+        par = OneVsRestL1Logistic(lam=1e-3, n_jobs=4).fit(X, labels)
+        for cls in seq.classes_:
+            assert np.array_equal(seq._models[cls].weights, par._models[cls].weights)
+            assert seq._models[cls].bias == par._models[cls].bias
+
+
 class TestOneVsRest:
     def _multiclass(self, n_per=60, seed=1):
         rng = np.random.RandomState(seed)

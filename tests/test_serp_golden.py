@@ -115,6 +115,30 @@ def capture(engine: SearchEngine):
     return cases
 
 
+def test_serp_golden_snapshot_cached_reserve_bit_exact():
+    """A memoized re-serve must match the golden snapshot bit for bit.
+
+    The first capture pass populates the engine's per-(term, day) SERP
+    memo; the second pass serves every case again from it.  Both must
+    equal the golden file — the cache can only ever hand back exactly
+    what a fresh serve would have produced."""
+    from repro.perf.cache import caches_enabled
+    from repro.util.perf import PERF
+
+    engine = build_engine()
+    first = capture(engine)
+    hits_before = PERF.counters().get("cache.serp.hit", 0)
+    second = capture(engine)
+    assert second == first
+    with open(GOLDEN_PATH) as handle:
+        golden = json.load(handle)
+    assert [(c["term"], c["day"], [r["score"] for r in c["results"]]) for c in second] == \
+           [(c["term"], c["day"], [r["score"] for r in c["results"]]) for c in golden]
+    if caches_enabled():
+        # Every repeat case came from the memo, not a re-rank.
+        assert PERF.counters().get("cache.serp.hit", 0) >= hits_before + len(second)
+
+
 def test_serp_golden_snapshot():
     with open(GOLDEN_PATH) as handle:
         golden = json.load(handle)
