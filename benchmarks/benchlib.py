@@ -3,6 +3,12 @@
 import json
 import os
 
+from repro.obs.manifest import run_manifest
+
+#: BENCH files written this session; conftest verifies each carries the
+#: run manifest before the benchmark session is allowed to pass.
+WRITTEN_PATHS = []
+
 
 def print_comparison(title: str, rows) -> None:
     """Uniform 'paper vs measured' block under each benchmark."""
@@ -26,11 +32,16 @@ def write_bench_json(name: str, payload: dict) -> str:
     """Write one benchmark's results as ``BENCH_<name>.json``.
 
     The payload should already be JSON-serializable; a ``schema`` key is
-    added so downstream tooling can detect format changes.
+    added so downstream tooling can detect format changes, and every file
+    carries the shared run ``manifest`` (version, git SHA, host, switches)
+    so trajectories stay comparable across machines and commits.
     """
     path = os.path.join(bench_output_dir(), f"BENCH_{name}.json")
     with open(path, "w") as handle:
-        json.dump({"schema": 1, "benchmark": name, **payload},
-                  handle, indent=2, sort_keys=True)
+        json.dump(
+            {"schema": 1, "benchmark": name, "manifest": run_manifest(),
+             **payload},
+            handle, indent=2, sort_keys=True)
         handle.write("\n")
+    WRITTEN_PATHS.append(path)
     return path

@@ -8,6 +8,9 @@ Commands:
   the comparison table;
 * ``perf`` — run a study and print the hot-path timing breakdown from the
   always-on :data:`repro.util.perf.PERF` registry;
+* ``trace`` — run a study with span tracing on and print the hierarchical
+  phase tree (:mod:`repro.obs.trace`); ``--json`` exports Chrome/Perfetto
+  ``trace_event`` JSON, ``--metrics`` the per-sim-day series;
 * ``lint`` — run the determinism/concurrency static analyzer
   (:mod:`repro.lint`) over the given paths; exits non-zero on findings.
 """
@@ -15,8 +18,11 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
+from dataclasses import asdict
+from time import perf_counter
 from typing import List, Optional
 
 from repro.study import StudyRun
@@ -40,9 +46,28 @@ from repro.lint import (
     select_rules,
     write_summary,
 )
+from repro.obs.manifest import run_manifest
+from repro.obs.trace import TRACER, set_tracing_enabled
 from repro.perf.cache import set_caches_enabled
 from repro.reporting import render_table, sparkline_row
 from repro.util.perf import PERF
+
+
+def _add_study_args(parser: argparse.ArgumentParser) -> None:
+    """The scenario/knob options shared by run / perf / trace."""
+    parser.add_argument("--preset", choices=("small", "paper"), default="small")
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="paper-preset census scale (ignored for small)")
+    parser.add_argument("--terms", type=int, default=8,
+                        help="monitored terms per vertical (paper preset)")
+    parser.add_argument("--stride", type=int, default=3,
+                        help="crawl stride, days")
+    parser.add_argument("--seed", type=int, default=None, help="scenario seed")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="threads for classifier fits (same results any value)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the content-addressed caches "
+                             "(bit-identical, slower)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -53,17 +78,10 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="run the study pipeline and write artifacts")
-    run.add_argument("--preset", choices=("small", "paper"), default="small")
-    run.add_argument("--scale", type=float, default=0.05,
-                     help="paper-preset census scale (ignored for small)")
-    run.add_argument("--terms", type=int, default=8,
-                     help="monitored terms per vertical (paper preset)")
-    run.add_argument("--stride", type=int, default=3, help="crawl stride, days")
-    run.add_argument("--seed", type=int, default=None, help="scenario seed")
-    run.add_argument("--jobs", type=int, default=1,
-                     help="threads for classifier fits (same results any value)")
-    run.add_argument("--no-cache", action="store_true",
-                     help="disable the content-addressed caches (bit-identical, slower)")
+    _add_study_args(run)
+    run.add_argument("--trace", action="store_true",
+                     help="record span traces; writes trace.json + manifest.json "
+                          "next to the artifacts and prints the phase tree")
     run.add_argument("--out", default="study-output", help="output directory")
 
     ablations = sub.add_parser("ablations", help="run intervention counterfactuals")
@@ -73,23 +91,31 @@ def _build_parser() -> argparse.ArgumentParser:
                                 "(same outcomes, same order, any value)")
     ablations.add_argument("--no-cache", action="store_true",
                            help="disable the content-addressed caches")
+    ablations.add_argument("--json", default=None, metavar="PATH",
+                           help="write outcomes + run manifest as JSON")
 
     perf = sub.add_parser(
         "perf", help="run a study and print the hot-path perf breakdown"
     )
-    perf.add_argument("--preset", choices=("small", "paper"), default="small")
-    perf.add_argument("--scale", type=float, default=0.05,
-                      help="paper-preset census scale (ignored for small)")
-    perf.add_argument("--terms", type=int, default=8,
-                      help="monitored terms per vertical (paper preset)")
-    perf.add_argument("--stride", type=int, default=3, help="crawl stride, days")
-    perf.add_argument("--seed", type=int, default=None, help="scenario seed")
-    perf.add_argument("--jobs", type=int, default=1,
-                      help="threads for classifier fits (same results any value)")
-    perf.add_argument("--no-cache", action="store_true",
-                      help="disable the content-addressed caches (for A/B timing)")
+    _add_study_args(perf)
     perf.add_argument("--json", default=None, metavar="PATH",
                       help="also dump the registry snapshot as JSON")
+    perf.add_argument("--top", type=int, default=None, metavar="N",
+                      help="show only the N widest timers")
+
+    trace = sub.add_parser(
+        "trace", help="run a traced study and print the span tree"
+    )
+    _add_study_args(trace)
+    trace.add_argument("--json", default=None, metavar="PATH",
+                       help="write Chrome/Perfetto trace_event JSON "
+                            "(open in chrome://tracing or ui.perfetto.dev)")
+    trace.add_argument("--metrics", default=None, metavar="PATH",
+                       help="write the per-sim-day metrics.jsonl series")
+    trace.add_argument("--counters", action="store_true",
+                       help="also show PERF counter deltas per span")
+    trace.add_argument("--sparklines", action="store_true",
+                       help="also print the per-sim-day series as sparklines")
 
     lint = sub.add_parser(
         "lint", help="run the determinism/concurrency static analyzer"
@@ -121,6 +147,8 @@ def _config_for(args):
 def command_run(args) -> int:
     if args.no_cache:
         set_caches_enabled(False)
+    if args.trace:
+        set_tracing_enabled(True)
     config = _config_for(args)
     print(f"Running {args.preset} preset "
           f"({len(config.verticals)} verticals, "
@@ -131,10 +159,42 @@ def command_run(args) -> int:
         n_jobs=args.jobs,
     ).execute()
     dataset = results.dataset
-    aggregates = DailyAggregates(dataset)
+    manifest = run_manifest(config)
     os.makedirs(args.out, exist_ok=True)
 
-    dataset.dump_jsonl(os.path.join(args.out, "psrs.jsonl"))
+    dataset.dump_jsonl(os.path.join(args.out, "psrs.jsonl"),
+                       manifest=manifest if args.trace else None)
+    # metrics.jsonl rides with --trace only: its serve-µs column and
+    # manifest header are timing/provenance data, and plain runs keep the
+    # documented guarantee that same-seed artifacts diff byte-identical.
+    if args.trace and results.metrics is not None:
+        results.metrics.write_jsonl(os.path.join(args.out, "metrics.jsonl"),
+                                    manifest=manifest)
+
+    with TRACER.span("analysis"):
+        artifacts = _analysis_artifacts(args, results)
+    for name, content in artifacts.items():
+        with open(os.path.join(args.out, name), "w") as handle:
+            handle.write(content + "\n")
+    if args.trace:
+        TRACER.dump_chrome_trace(os.path.join(args.out, "trace.json"),
+                                 manifest=manifest)
+        with open(os.path.join(args.out, "manifest.json"), "w") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(TRACER.render())
+    print(artifacts["summary.txt"])
+    extras = "psrs.jsonl" if not args.trace else \
+        "psrs.jsonl, metrics.jsonl, trace.json, manifest.json"
+    print(f"\nArtifacts written to {args.out}/ "
+          f"({', '.join(sorted(artifacts))} + {extras})")
+    return 0
+
+
+def _analysis_artifacts(args, results) -> dict:
+    """Tables, figure, and summary for one completed study run."""
+    dataset = results.dataset
+    aggregates = DailyAggregates(dataset)
 
     table1_rows = vertical_table(dataset, aggregates)
     table1 = render_table(
@@ -190,20 +250,13 @@ def command_run(args) -> int:
             f"{shipped.delivery_rate:.0%} delivered"
         )
 
-    artifacts = {
+    return {
         "table1.txt": table1,
         "table2.txt": table2,
         "table3.txt": table3,
         "figure3.txt": "\n".join(fig3_lines),
         "summary.txt": "\n".join(summary_lines),
     }
-    for name, content in artifacts.items():
-        with open(os.path.join(args.out, name), "w") as handle:
-            handle.write(content + "\n")
-    print("\n".join(summary_lines))
-    print(f"\nArtifacts written to {args.out}/ "
-          f"({', '.join(sorted(artifacts))} + psrs.jsonl)")
-    return 0
 
 
 def command_ablations(args) -> int:
@@ -221,6 +274,16 @@ def command_ablations(args) -> int:
           o.completed_sales, f"{o.sales_vs(baseline):.2f}x",
           o.psr_count, o.seized_domains] for o in outcomes],
     ))
+    if args.json:
+        payload = {
+            "manifest": run_manifest(small_preset(days=args.days),
+                                     jobs=args.jobs),
+            "outcomes": [asdict(o) for o in outcomes],
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nOutcomes + manifest written to {args.json}")
     return 0
 
 
@@ -237,10 +300,42 @@ def command_perf(args) -> int:
         config, crawl_policy=CrawlPolicy(stride_days=args.stride),
         n_jobs=args.jobs,
     ).execute()
-    print(PERF.format_table())
+    print(PERF.format_table(top=args.top))
     if args.json:
-        PERF.dump_json(args.json)
+        PERF.dump_json(args.json, extra={"manifest": run_manifest(config)})
         print(f"\nPerf snapshot written to {args.json}")
+    return 0
+
+
+def command_trace(args) -> int:
+    if args.no_cache:
+        set_caches_enabled(False)
+    set_tracing_enabled(True)
+    config = _config_for(args)
+    print(f"Tracing {args.preset} preset "
+          f"({len(config.verticals)} verticals, {len(config.window)} days, "
+          f"cache={'off' if args.no_cache else 'on'})...", flush=True)
+    start = perf_counter()
+    results = StudyRun(
+        config, crawl_policy=CrawlPolicy(stride_days=args.stride),
+        n_jobs=args.jobs,
+    ).execute()
+    wall_s = perf_counter() - start
+    manifest = run_manifest(config)
+    print(TRACER.render(show_counters=args.counters))
+    traced_s = TRACER.total_s()
+    print(f"\ntraced {traced_s:.3f}s of {wall_s:.3f}s wall-clock "
+          f"({traced_s / wall_s:.1%} coverage)")
+    if args.sparklines and results.metrics is not None:
+        print()
+        print(results.metrics.render_sparklines())
+    if args.json:
+        TRACER.dump_chrome_trace(args.json, manifest=manifest)
+        print(f"\nChrome trace written to {args.json} "
+              f"(open in chrome://tracing or ui.perfetto.dev)")
+    if args.metrics and results.metrics is not None:
+        results.metrics.write_jsonl(args.metrics, manifest=manifest)
+        print(f"Per-sim-day metrics written to {args.metrics}")
     return 0
 
 
@@ -276,6 +371,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return command_ablations(args)
     if args.command == "perf":
         return command_perf(args)
+    if args.command == "trace":
+        return command_trace(args)
     if args.command == "lint":
         return command_lint(args)
     return 2

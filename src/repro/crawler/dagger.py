@@ -18,8 +18,10 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
+from time import perf_counter
 from typing import FrozenSet, Optional, Set
 
+from repro.util.perf import PERF
 from repro.util.simtime import SimDate
 from repro.web.fetch import CRAWLER, Response, SEARCH_USER
 from repro.web.hosting import Web
@@ -72,6 +74,10 @@ class DaggerResult:
         return self.user_response.final_url
 
 
+#: Always-on check timer (the trace tree shows it under each crawl span).
+_CHECK_TIMER = PERF.handle("crawler.dagger")
+
+
 class Dagger:
     """Fetch-twice-and-diff cloaking detector."""
 
@@ -80,6 +86,13 @@ class Dagger:
         self.similarity_threshold = similarity_threshold
 
     def check(self, url: str, day: SimDate) -> DaggerResult:
+        start = perf_counter()
+        try:
+            return self._check(url, day)
+        finally:
+            _CHECK_TIMER.add(perf_counter() - start)
+
+    def _check(self, url: str, day: SimDate) -> DaggerResult:
         user_view = self.web.fetch(url, SEARCH_USER, day)
         crawler_view = self.web.fetch(url, CRAWLER, day)
 

@@ -167,6 +167,10 @@ class PsrDataset:
             counts[r.day.ordinal] = counts.get(r.day.ordinal, 0) + 1
         return counts
 
+    def host_count(self) -> int:
+        """Distinct doorway hosts ever recorded (O(1), metrics sampling)."""
+        return len(self._first_seen_host)
+
     def host_first_seen(self, host: str) -> Optional[SimDate]:
         return self._first_seen_host.get(host)
 
@@ -183,8 +187,15 @@ class PsrDataset:
     # Serialization
     # ------------------------------------------------------------------ #
 
-    def dump_jsonl(self, path: str) -> None:
+    def dump_jsonl(self, path: str, manifest: Optional[dict] = None) -> None:
+        """One record per line; with ``manifest``, a leading provenance row
+        (``{"_type": "manifest", ...}``) that :meth:`load_jsonl` skips.
+        Record lines are byte-identical with or without the header."""
         with open(path, "w") as handle:
+            if manifest is not None:
+                handle.write(json.dumps({"_type": "manifest", **manifest},
+                                        sort_keys=True))
+                handle.write("\n")
             for record in self.records:
                 handle.write(record.to_json())
                 handle.write("\n")
@@ -195,8 +206,11 @@ class PsrDataset:
         with open(path) as handle:
             for line in handle:
                 line = line.strip()
-                if line:
-                    dataset.add(PsrRecord.from_json(line))
+                if not line:
+                    continue
+                if line.startswith('{"_type"'):
+                    continue
+                dataset.add(PsrRecord.from_json(line))
         return dataset
 
 

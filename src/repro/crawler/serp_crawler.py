@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Set
 
+from repro.obs.trace import TRACER
 from repro.util.simtime import SimDate
 from repro.web.fetch import Response
 from repro.web.urls import parse_url
@@ -92,14 +93,15 @@ class SearchCrawler:
             self._first_crawl_day = day
         if (day - self._first_crawl_day) % self.policy.stride_days != 0:
             return
-        self.crawl_day_count += 1
-        self._renders_today = {}
-        self._landing_today = {}
-        for term, serp in context.serps.items():
-            vertical = context.vertical_of_term[term]
-            self.dataset.note_serp(day, vertical, len(serp.results))
-            for result in serp.results:
-                self._process_result(day, vertical, term, result)
+        with TRACER.span("crawl", sim_day=day.isoformat()):
+            self.crawl_day_count += 1
+            self._renders_today = {}
+            self._landing_today = {}
+            for term, serp in context.serps.items():
+                vertical = context.vertical_of_term[term]
+                self.dataset.note_serp(day, vertical, len(serp.results))
+                for result in serp.results:
+                    self._process_result(day, vertical, term, result)
 
     # ------------------------------------------------------------------ #
     # Per-result processing

@@ -10,8 +10,10 @@ both either set to 100% or larger than 800 pixels".
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import List, Optional
 
+from repro.util.perf import PERF
 from repro.util.simtime import SimDate
 from repro.html.nodes import Document, Element
 from repro.perf.cache import render_document_cached
@@ -55,6 +57,10 @@ class VanGoghResult:
     rendered_iframe_count: int
 
 
+#: Always-on check timer (the trace tree shows it under each crawl span).
+_CHECK_TIMER = PERF.handle("crawler.vangogh")
+
+
 class VanGogh:
     """Render-and-inspect iframe-cloaking detector."""
 
@@ -62,6 +68,13 @@ class VanGogh:
         self.web = web
 
     def check(self, url: str, day: SimDate) -> VanGoghResult:
+        start = perf_counter()
+        try:
+            return self._check(url, day)
+        finally:
+            _CHECK_TIMER.add(perf_counter() - start)
+
+    def _check(self, url: str, day: SimDate) -> VanGoghResult:
         response = self.web.fetch(url, RENDERING_CRAWLER, day)
         if not response.ok:
             return VanGoghResult(url, False, None, None, 0)

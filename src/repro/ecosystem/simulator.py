@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Dict, List, Optional, Sequence
 
+from repro.obs.trace import TRACER
 from repro.util.perf import PERF
 from repro.util.randmath import binomial, poisson
 from repro.util.rng import RandomStreams
@@ -173,25 +174,34 @@ class Simulator:
             for term in vertical.terms:
                 vertical_of_term[term] = name
         day_timer = PERF.handle("simulator.day")
-        for day in world.window:
-            day_start = perf_counter()
-            world.today = day
-            for campaign in self.campaigns:
-                campaign.on_day(world, day)
-            assert self.search_team is not None
-            self.search_team.on_day(world, day)
-            for firm in self.firms:
-                firm.on_day(world, day)
-            if self.payment_team is not None:
-                self.payment_team.on_day(world, day)
-            serps = {
-                term: world.engine.serp(term, day) for term in vertical_of_term
-            }
-            self._traffic_pass(day, serps)
-            context = DayContext(day=day, serps=serps, vertical_of_term=vertical_of_term)
-            for observer in observers:
-                observer.on_day(world, context)
-            day_timer.add(perf_counter() - day_start)
+        with TRACER.span("simulate", days=len(world.window)):
+            for day in world.window:
+                day_start = perf_counter()
+                world.today = day
+                with TRACER.span("day", sim_day=day.isoformat()):
+                    with TRACER.span("campaigns"):
+                        for campaign in self.campaigns:
+                            campaign.on_day(world, day)
+                    assert self.search_team is not None
+                    with TRACER.span("interventions"):
+                        self.search_team.on_day(world, day)
+                        for firm in self.firms:
+                            firm.on_day(world, day)
+                        if self.payment_team is not None:
+                            self.payment_team.on_day(world, day)
+                    with TRACER.span("serps"):
+                        serps = {
+                            term: world.engine.serp(term, day)
+                            for term in vertical_of_term
+                        }
+                    with TRACER.span("traffic"):
+                        self._traffic_pass(day, serps)
+                    context = DayContext(
+                        day=day, serps=serps, vertical_of_term=vertical_of_term
+                    )
+                    for observer in observers:
+                        observer.on_day(world, context)
+                day_timer.add(perf_counter() - day_start)
         return world
 
     # ------------------------------------------------------------------ #

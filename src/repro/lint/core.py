@@ -128,7 +128,10 @@ class Rule:
     :attr:`name`, a one-line fix :attr:`hint`, the AST :attr:`node_types`
     they want dispatched, and optionally :attr:`exempt_suffixes` — path
     suffixes (posix form) where the rule does not apply (e.g., D001 is
-    exempt inside the RNG discipline modules themselves).
+    exempt inside the RNG discipline modules themselves) — and
+    :attr:`exempt_dirs` — sanctioned directories (posix path fragments
+    matched on whole components, e.g. ``repro/obs``) whose every file the
+    rule skips.
     """
 
     code: str = META_CODE
@@ -136,10 +139,17 @@ class Rule:
     hint: str = ""
     node_types: Tuple[type, ...] = ()
     exempt_suffixes: Tuple[str, ...] = ()
+    exempt_dirs: Tuple[str, ...] = ()
 
     def applies_to(self, path: str) -> bool:
         posix = path.replace(os.sep, "/")
-        return not any(posix.endswith(suffix) for suffix in self.exempt_suffixes)
+        if any(posix.endswith(suffix) for suffix in self.exempt_suffixes):
+            return False
+        anchored = "/" + posix
+        return not any(
+            f"/{directory.strip('/')}/" in anchored
+            for directory in self.exempt_dirs
+        )
 
     def begin_module(self, tree: ast.Module, ctx: LintContext) -> None:
         """Called before the walk; collect module-level facts here."""

@@ -32,7 +32,10 @@ class WallClockRule(Rule):
     name = "wall-clock"
     hint = "use SimDate / world.today (repro.util.simtime); perf timing uses perf_counter"
     node_types = (ast.Call, ast.ImportFrom)
-    exempt_suffixes = ("repro/util/simtime.py",)
+    exempt_suffixes = ("repro/util/simtime.py", "repro/util/perf.py")
+    #: Observability is the sanctioned wall-clock reader: run manifests
+    #: timestamp provenance (created_at), never simulation state.
+    exempt_dirs = ("repro/obs",)
 
     def begin_module(self, tree: ast.Module, ctx: LintContext) -> None:
         self.time_aliases: Set[str] = set()

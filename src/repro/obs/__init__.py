@@ -1,0 +1,40 @@
+"""Observability for the study pipeline.
+
+Three layers, built on top of the always-on :data:`repro.util.perf.PERF`
+registry:
+
+* :mod:`repro.obs.trace` — a hierarchical span tracer.  When enabled it
+  records nested spans over the whole pipeline (``study → simulate →
+  day[d] → {campaigns, interventions, serps, traffic, crawl, orders}``,
+  ``classify → {features, fit, refine, attribute}``, ``analysis``), each
+  carrying wall-clock, sim-day tags, and the PERF counter/timer deltas
+  that accrued inside it.  Renders as a text tree (``python -m repro
+  trace``) and exports Chrome/Perfetto ``trace_event`` JSON.
+* :mod:`repro.obs.metrics` — a per-sim-day metrics recorder.  Plugged in
+  as the last simulator observer, it samples the study's time series once
+  per simulated day (PSRs observed, doorways/stores seen, cache hit
+  rates, SERP serve µs, labels/penalties) into columnar storage written
+  as ``metrics.jsonl`` and renderable with the reporting sparklines.
+* :mod:`repro.obs.manifest` — run provenance.  One dict (config digest,
+  seed, git SHA, host, versions, cache/trace switches) embedded in every
+  emitted artifact so benchmark trajectories are comparable across runs.
+
+Tracing is off by default and never touches simulation state: a traced
+run's study outputs are byte-identical to an untraced run's
+(``tests/test_obs.py`` pins this).
+"""
+
+from repro.obs.manifest import config_digest, git_sha, run_manifest
+from repro.obs.metrics import METRICS_COLUMNS, MetricsRecorder
+from repro.obs.trace import TRACER, set_tracing_enabled, tracing_enabled
+
+__all__ = [
+    "TRACER",
+    "set_tracing_enabled",
+    "tracing_enabled",
+    "MetricsRecorder",
+    "METRICS_COLUMNS",
+    "run_manifest",
+    "config_digest",
+    "git_sha",
+]

@@ -19,6 +19,7 @@ import re
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.obs.trace import TRACER
 from repro.util.simtime import SimDate
 from repro.util.stats import cumulative_to_rates, linear_interpolate
 from repro.web.fetch import SEARCH_USER
@@ -142,21 +143,22 @@ class TestOrderer:
 
     def on_day(self, world, context) -> None:
         day = context.day
-        self._discover_new_stores(day)
-        orders_today: Dict[str, int] = {}
-        for tracked in self.tracked.values():
-            if tracked.dead or tracked.next_sample_day is None:
-                continue
-            if day < tracked.next_sample_day:
-                continue
-            group = self.campaign_of_host(tracked.key)
-            if orders_today.get(group, 0) >= self.policy.max_orders_per_day_per_campaign:
-                # Defer to tomorrow; the cap is per calendar day.
-                tracked.next_sample_day = day + 1
-                continue
-            if self._sample(tracked, day):
-                orders_today[group] = orders_today.get(group, 0) + 1
-            tracked.next_sample_day = day + self.policy.sample_interval_days
+        with TRACER.span("orders", sim_day=day.isoformat()):
+            self._discover_new_stores(day)
+            orders_today: Dict[str, int] = {}
+            for tracked in self.tracked.values():
+                if tracked.dead or tracked.next_sample_day is None:
+                    continue
+                if day < tracked.next_sample_day:
+                    continue
+                group = self.campaign_of_host(tracked.key)
+                if orders_today.get(group, 0) >= self.policy.max_orders_per_day_per_campaign:
+                    # Defer to tomorrow; the cap is per calendar day.
+                    tracked.next_sample_day = day + 1
+                    continue
+                if self._sample(tracked, day):
+                    orders_today[group] = orders_today.get(group, 0) + 1
+                tracked.next_sample_day = day + self.policy.sample_interval_days
 
     # ------------------------------------------------------------------ #
 

@@ -144,6 +144,10 @@ class SearchEngine:
     def labeled_hosts(self) -> Dict[str, HostLabel]:
         return dict(self._labels)
 
+    def penalized_hosts(self) -> Dict[str, HostPenalty]:
+        """Hosts currently under a ranking penalty (metrics sampling)."""
+        return dict(self._penalties)
+
     def penalty_of(self, host: str, day: SimDate) -> float:
         state = self._penalties.get(host)
         if state is None or day < state.since:

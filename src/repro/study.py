@@ -33,6 +33,8 @@ from repro.classify.labeling import (
     build_seed_labels,
 )
 from repro.classify.pipeline import AttributionResult, CampaignClassifier
+from repro.obs.metrics import MetricsRecorder
+from repro.obs.trace import TRACER
 from repro.perf.gctune import low_pause_gc
 
 
@@ -50,6 +52,8 @@ class StudyResults:
     classifier: Optional[CampaignClassifier]
     attribution: Optional[AttributionResult]
     labeled_pages: List[LabeledPage] = field(default_factory=list)
+    #: Per-sim-day time series sampled while the simulation ran.
+    metrics: Optional[MetricsRecorder] = None
 
     @property
     def supplier(self):
@@ -89,45 +93,28 @@ class StudyRun:
         # content-addressed caches resident, default full collections walk
         # the whole cache on the hot path (see repro.perf.gctune).
         with low_pause_gc():
-            return self._execute()
+            with TRACER.span("study", seed=self.config.seed,
+                             days=len(self.config.window)):
+                return self._execute()
 
     def _execute(self) -> StudyResults:
         simulator = Simulator(self.config)
         world = simulator.build()
         crawler = SearchCrawler(world.web, self.crawl_policy)
         orderer = TestOrderer(world.web, crawler, self.order_policy)
-        simulator.run(observers=[crawler, orderer])
+        # The metrics recorder observes last, after the crawler and orderer
+        # have produced the day's records it samples.
+        recorder = MetricsRecorder(crawler)
+        simulator.run(observers=[crawler, orderer, recorder])
 
         oracle = GroundTruthOracle(world)
         classifier: Optional[CampaignClassifier] = None
         attribution: Optional[AttributionResult] = None
         labeled: List[LabeledPage] = []
         if self.classify and (crawler.archive.stores or crawler.archive.doorways):
-            labeled = build_seed_labels(
-                crawler.archive, oracle, target_size=self.seed_label_count,
-                seed=self.config.seed,
-            )
-            if len({p.campaign for p in labeled}) >= 2:
-                seeded_hosts = {p.host for p in labeled}
-                unlabeled: Dict[str, tuple] = {}
-                for host, html in crawler.archive.stores.items():
-                    if host not in seeded_hosts:
-                        unlabeled[host] = (html, "store")
-                for host, html in crawler.archive.doorways.items():
-                    if host not in seeded_hosts and host not in unlabeled:
-                        unlabeled[host] = (html, "doorway")
-                loop = RefinementLoop(oracle)
-                labeled, classifier = loop.run(
-                    classifier_factory=lambda: CampaignClassifier(
-                        lam=self.classifier_lam,
-                        confidence_threshold=self.confidence_threshold,
-                        n_jobs=self.n_jobs,
-                    ),
-                    labeled=labeled,
-                    unlabeled=unlabeled,
-                    rounds=self.refinement_rounds,
-                )
-                attribution = classifier.attribute(crawler.dataset, crawler.archive)
+            with TRACER.span("classify"):
+                labeled, classifier, attribution = self._classify(
+                    crawler, oracle)
         # Test-order campaign hints follow attribution (the paper likewise
         # grouped its order data after classifying stores).
         if attribution is not None:
@@ -146,4 +133,41 @@ class StudyRun:
             classifier=classifier,
             attribution=attribution,
             labeled_pages=labeled,
+            metrics=recorder,
         )
+
+    def _classify(self, crawler, oracle):
+        """Seed-label, refine, and attribute; returns (labeled, classifier,
+        attribution) — the latter two ``None`` when too few campaigns seed."""
+        classifier: Optional[CampaignClassifier] = None
+        attribution: Optional[AttributionResult] = None
+        with TRACER.span("seed-labels"):
+            labeled = build_seed_labels(
+                crawler.archive, oracle, target_size=self.seed_label_count,
+                seed=self.config.seed,
+            )
+        if len({p.campaign for p in labeled}) >= 2:
+            seeded_hosts = {p.host for p in labeled}
+            unlabeled: Dict[str, tuple] = {}
+            for host, html in crawler.archive.stores.items():
+                if host not in seeded_hosts:
+                    unlabeled[host] = (html, "store")
+            for host, html in crawler.archive.doorways.items():
+                if host not in seeded_hosts and host not in unlabeled:
+                    unlabeled[host] = (html, "doorway")
+            with TRACER.span("refine", rounds=self.refinement_rounds):
+                loop = RefinementLoop(oracle)
+                labeled, classifier = loop.run(
+                    classifier_factory=lambda: CampaignClassifier(
+                        lam=self.classifier_lam,
+                        confidence_threshold=self.confidence_threshold,
+                        n_jobs=self.n_jobs,
+                    ),
+                    labeled=labeled,
+                    unlabeled=unlabeled,
+                    rounds=self.refinement_rounds,
+                )
+            with TRACER.span("attribute"):
+                attribution = classifier.attribute(
+                    crawler.dataset, crawler.archive)
+        return labeled, classifier, attribution

@@ -113,24 +113,37 @@ class PerfRegistry:
             out.setdefault(name, {})["count"] = value
         return out
 
-    def format_table(self) -> str:
-        """The hot-path breakdown, widest total first."""
-        rows: List[Tuple[str, str, str, str, str]] = [
-            ("name", "calls", "total (s)", "mean (µs)", "max (µs)")
+    def format_table(self, top: Optional[int] = None) -> str:
+        """The hot-path breakdown, widest total first.
+
+        The ``% of total`` column is relative to the widest timer — the
+        outermost instrumented block (``simulator.day`` in a study run)
+        reads 100% and everything nested inside reads as its share.
+        ``top`` keeps only the N widest timers (counters still print).
+        """
+        rows: List[Tuple[str, str, str, str, str, str]] = [
+            ("name", "calls", "total (s)", "% of total", "mean (µs)", "max (µs)")
         ]
         ordered = sorted(
             ((n, s) for n, s in self._timers.items() if s.calls),
             key=lambda kv: -kv[1].total,
         )
+        dropped = 0
+        if top is not None and top >= 0:
+            dropped = max(0, len(ordered) - top)
+            ordered = ordered[:top]
+        widest = ordered[0][1].total if ordered else 0.0
         for name, stat in ordered:
+            share = (stat.total / widest * 100.0) if widest else 0.0
             rows.append((
                 name,
                 f"{stat.calls:,}",
                 f"{stat.total:.3f}",
+                f"{share:.1f}%",
                 f"{stat.mean * 1e6:.1f}",
                 f"{stat.max * 1e6:.1f}",
             ))
-        widths = [max(len(row[i]) for row in rows) for i in range(5)]
+        widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
         lines = []
         for r, row in enumerate(rows):
             lines.append("  ".join(
@@ -139,6 +152,8 @@ class PerfRegistry:
             ))
             if r == 0:
                 lines.append("  ".join("-" * w for w in widths))
+        if dropped:
+            lines.append(f"... {dropped} more timer(s) below --top cutoff")
         for name, value in sorted(self._counters.items()):
             lines.append(f"{name}: {value:,}")
         return "\n".join(lines)

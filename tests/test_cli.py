@@ -1,10 +1,18 @@
 """Tests for the command-line interface."""
 
+import json
 import os
 
 import pytest
 
 from repro.cli import main
+from repro.obs.trace import set_tracing_enabled
+
+
+@pytest.fixture
+def tracing_off_after():
+    yield
+    set_tracing_enabled(False)
 
 
 class TestRunCommand:
@@ -40,6 +48,52 @@ class TestRunCommand:
         with open(os.path.join(out_b, "summary.txt")) as fb:
             summary_b = fb.read()
         assert summary_a != summary_b
+
+
+class TestTraceCommands:
+    def test_trace_prints_tree_and_writes_exports(self, tmp_path, capsys,
+                                                  tracing_off_after):
+        trace_path = str(tmp_path / "trace.json")
+        metrics_path = str(tmp_path / "metrics.jsonl")
+        code = main(["trace", "--preset", "small", "--stride", "2",
+                     "--json", trace_path, "--metrics", metrics_path])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "study" in stdout
+        assert "simulate" in stdout
+        assert "wall-clock" in stdout
+        with open(trace_path) as handle:
+            payload = json.load(handle)
+        assert payload["traceEvents"]
+        assert payload["otherData"]["manifest"]["package"] == "repro"
+        from repro.obs.metrics import MetricsRecorder
+
+        manifest, rows = MetricsRecorder.load_jsonl(metrics_path)
+        assert manifest is not None
+        assert rows
+
+    def test_run_trace_writes_trace_artifacts(self, tmp_path,
+                                              tracing_off_after):
+        out = str(tmp_path / "study")
+        code = main(["run", "--preset", "small", "--stride", "3",
+                     "--trace", "--out", out])
+        assert code == 0
+        for name in ("trace.json", "manifest.json", "metrics.jsonl",
+                     "psrs.jsonl"):
+            assert os.path.getsize(os.path.join(out, name)) > 0, name
+        with open(os.path.join(out, "manifest.json")) as handle:
+            manifest = json.load(handle)
+        assert manifest["trace_enabled"] is True
+        assert "digest" in manifest["config"]
+
+    def test_untraced_run_writes_no_observability_artifacts(self, tmp_path):
+        # Plain runs keep byte-identical same-seed artifacts; metrics and
+        # trace files (timing + provenance data) require --trace.
+        out = str(tmp_path / "study")
+        main(["run", "--preset", "small", "--stride", "3", "--out", out])
+        assert not os.path.exists(os.path.join(out, "metrics.jsonl"))
+        assert not os.path.exists(os.path.join(out, "trace.json"))
+        assert not os.path.exists(os.path.join(out, "manifest.json"))
 
 
 class TestAblationsCommand:

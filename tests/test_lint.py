@@ -145,6 +145,50 @@ class TestSuppressions(unittest.TestCase):
             select_rules(["D999"])
 
 
+class TestSanctionedDirs(unittest.TestCase):
+    """D003's directory allowance: ``repro/obs`` reads the host clock for
+    provenance timestamps; the same code anywhere else still fires."""
+
+    WALLCLOCK = textwrap.dedent(
+        """\
+        import time
+
+        def stamp():
+            return time.strftime("%Y", time.localtime())
+        """
+    )
+
+    def setUp(self):
+        import tempfile
+
+        self._tmpdir = tempfile.TemporaryDirectory()
+        self.tmp = Path(self._tmpdir.name)
+        self.addCleanup(self._tmpdir.cleanup)
+
+    def lint_at(self, relpath):
+        path = self.tmp / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.WALLCLOCK)
+        return lint_file(str(path), select_rules(["D003"]))
+
+    def test_obs_dir_is_exempt(self):
+        result = self.lint_at("src/repro/obs/manifest_like.py")
+        self.assertEqual(result.findings, [])
+
+    def test_d003_still_fires_outside_obs(self):
+        result = self.lint_at("src/repro/ecosystem/snippet.py")
+        self.assertEqual([f.code for f in result.findings], ["D003"])
+
+    def test_obs_as_plain_name_fragment_not_exempt(self):
+        # 'repro/obs' must match whole path components, not substrings.
+        result = self.lint_at("src/repro/observatory/snippet.py")
+        self.assertEqual([f.code for f in result.findings], ["D003"])
+
+    def test_util_perf_suffix_is_exempt(self):
+        result = self.lint_at("src/repro/util/perf.py")
+        self.assertEqual(result.findings, [])
+
+
 class TestReporting(unittest.TestCase):
     def test_json_schema(self):
         report = lint_paths([str(FIXTURES)], all_rules(), root=str(REPO_ROOT))

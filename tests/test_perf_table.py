@@ -1,0 +1,74 @@
+"""Tests for the PERF registry's table rendering (`% of total`, --top)."""
+
+import pytest
+
+from repro.util.perf import PerfRegistry
+
+
+@pytest.fixture
+def registry():
+    reg = PerfRegistry()
+    reg.handle("wide").add(0.8)
+    reg.handle("wide").add(0.2)
+    reg.handle("half").add(0.5)
+    reg.handle("narrow").add(0.1)
+    reg.count("cache.demo.hit", 3)
+    return reg
+
+
+def header_of(table):
+    return table.splitlines()[0]
+
+
+class TestPercentColumn:
+    def test_header_includes_percent_of_total(self, registry):
+        assert "% of total" in header_of(registry.format_table())
+
+    def test_widest_timer_reads_100(self, registry):
+        lines = registry.format_table().splitlines()
+        wide_row = next(line for line in lines if line.startswith("wide"))
+        assert "100.0%" in wide_row
+
+    def test_shares_relative_to_widest(self, registry):
+        table = registry.format_table()
+        half_row = next(line for line in table.splitlines()
+                        if line.startswith("half"))
+        narrow_row = next(line for line in table.splitlines()
+                          if line.startswith("narrow"))
+        assert "50.0%" in half_row
+        assert "10.0%" in narrow_row
+
+    def test_empty_registry_renders_header_only_table(self):
+        table = PerfRegistry().format_table()
+        assert "% of total" in header_of(table)
+
+
+class TestTopTruncation:
+    def test_top_keeps_n_widest(self, registry):
+        table = registry.format_table(top=2)
+        assert "wide" in table
+        assert "half" in table
+        assert "narrow" not in table.split("cutoff")[0].replace(
+            "... 1 more", "")
+        assert "1 more timer(s) below --top cutoff" in table
+
+    def test_top_larger_than_timer_count_shows_all(self, registry):
+        table = registry.format_table(top=99)
+        assert "narrow" in table
+        assert "cutoff" not in table
+
+    def test_counters_survive_truncation(self, registry):
+        table = registry.format_table(top=1)
+        assert "cache.demo.hit: 3" in table
+
+    def test_default_is_untruncated(self, registry):
+        assert registry.format_table() == registry.format_table(top=None)
+
+
+class TestCliFlag:
+    def test_perf_parser_accepts_top(self):
+        from repro.cli import _build_parser
+
+        args = _build_parser().parse_args(["perf", "--top", "5"])
+        assert args.top == 5
+        assert _build_parser().parse_args(["perf"]).top is None
