@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.util.simtime import SimDate
 from repro.crawler.records import PsrDataset
-from repro.crawler.awstats import scrape_awstats, AwstatsNotPublic
+from repro.crawler.awstats import scrape_awstats, AwstatsNotPublic, AwstatsUnavailable
 from repro.orders.purchase_pair import OrderVolumeSeries, TestOrderer, TrackedStore
 
 
@@ -94,8 +94,18 @@ def rotation_case_study(
     if world is not None:
         store = world.store_at(tracked.key)
         if store is not None and store.awstats_public:
-            report = scrape_awstats(store, world.window.start, world.window.end)
-            traffic = dict(report.daily_visits)
+            injector = getattr(world.web, "fault_injector", None)
+            try:
+                report = scrape_awstats(
+                    store, world.window.start, world.window.end,
+                    injector=injector,
+                )
+            except AwstatsUnavailable:
+                # Analytics dark: the case study degrades to crawl + order
+                # series only, exactly like a real scrape outage.
+                report = None
+            if report is not None:
+                traffic = dict(report.daily_visits)
 
     series = OrderVolumeSeries(tracked.samples)
     base = series.samples[0].order_number if series.samples else 0
@@ -157,8 +167,11 @@ def conversion_metrics(
     if tracked is None or store is None:
         return None
     try:
-        report = scrape_awstats(store, first_day, last_day)
-    except AwstatsNotPublic:
+        report = scrape_awstats(
+            store, first_day, last_day,
+            injector=getattr(world.web, "fault_injector", None),
+        )
+    except (AwstatsNotPublic, AwstatsUnavailable):
         return None
     series = OrderVolumeSeries(
         [s for s in tracked.samples if first_day <= s.day <= last_day]

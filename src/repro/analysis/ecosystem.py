@@ -10,7 +10,7 @@ analyst would do it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set
 
 from repro.util.stats import peak_range
 from repro.crawler.records import PageArchive, PsrDataset
@@ -106,7 +106,7 @@ def campaign_table(
             if html:
                 brands |= extract_brands(html, brand_names)
         series = aggregates.campaign_series(campaign)
-        peak_days = _peak_duration(series)
+        peak_days = _peak_duration(series, dataset.missed_ordinals())
         rows.append(
             CampaignRow(
                 campaign=campaign,
@@ -120,12 +120,28 @@ def campaign_table(
     return rows
 
 
-def _peak_duration(daily_series: Dict[int, int]) -> int:
-    """Peak range length in days over a sparse daily-count series."""
+def _peak_duration(
+    daily_series: Dict[int, int],
+    missed_ordinals: FrozenSet[int] = frozenset(),
+) -> int:
+    """Peak range length in days over a sparse daily-count series.
+
+    A day absent from the series is a true zero *unless* the crawl was
+    blind that day (``missed_ordinals``, from injected SERP outages): a
+    blind day carries the previous observation forward, so one missed
+    crawl day cannot split a contiguous peak in two.
+    """
     if not daily_series:
         return 0
     start = min(daily_series)
     end = max(daily_series)
-    dense = [float(daily_series.get(d, 0)) for d in range(start, end + 1)]
+    dense: List[float] = []
+    for d in range(start, end + 1):
+        if d in daily_series:
+            dense.append(float(daily_series[d]))
+        elif d in missed_ordinals and dense:
+            dense.append(dense[-1])
+        else:
+            dense.append(0.0)
     lo, hi = peak_range(dense, fraction=0.6)
     return hi - lo + 1

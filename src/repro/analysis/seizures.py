@@ -94,7 +94,13 @@ class StoreLifetimeStats:
 
 def seized_store_lifetimes(dataset: PsrDataset) -> List[StoreLifetimeStats]:
     """Per firm, bracket how long seized stores monetized traffic before
-    the seizure took effect."""
+    the seizure took effect.
+
+    Crawl-blind days (injected SERP outages) extend the *lower* bound:
+    a store last seen right before a run of missed crawl days was plausibly
+    still up through them, so the last sighting slides forward across the
+    contiguous gap (never past the notice observation)."""
+    missed = dataset.missed_ordinals()
     first_store_seen: Dict[str, SimDate] = {}
     last_store_seen: Dict[str, SimDate] = {}
     first_notice_seen: Dict[str, Tuple[SimDate, str]] = {}
@@ -115,7 +121,10 @@ def seized_store_lifetimes(dataset: PsrDataset) -> List[StoreLifetimeStats]:
         if start is None:
             continue
         last_active = last_store_seen.get(host, start)
-        lower = max(0, last_active - start)
+        last_ordinal = _extend_through_gaps(
+            last_active.ordinal, missed, limit=notice_day.ordinal
+        )
+        lower = max(0, last_ordinal - start.ordinal)
         upper = max(0, notice_day - start)
         by_firm.setdefault(firm, []).append((lower, upper))
 
@@ -131,6 +140,14 @@ def seized_store_lifetimes(dataset: PsrDataset) -> List[StoreLifetimeStats]:
             )
         )
     return stats
+
+
+def _extend_through_gaps(ordinal: int, missed: Set[int], limit: int) -> int:
+    """Slide a last-sighting ordinal forward across contiguous missed
+    crawl days, stopping strictly before ``limit``."""
+    while ordinal + 1 in missed and ordinal + 1 < limit:
+        ordinal += 1
+    return ordinal
 
 
 @dataclass

@@ -11,8 +11,15 @@ Commands:
 * ``trace`` — run a study with span tracing on and print the hierarchical
   phase tree (:mod:`repro.obs.trace`); ``--json`` exports Chrome/Perfetto
   ``trace_event`` JSON, ``--metrics`` the per-sim-day series;
+* ``chaos`` — run the same scenario clean and under a named fault profile
+  (:mod:`repro.faults`), report injected/retried/degraded counters, and
+  assert the resilience invariants (determinism, headline tolerance);
 * ``lint`` — run the determinism/concurrency static analyzer
   (:mod:`repro.lint`) over the given paths; exits non-zero on findings.
+
+``run`` also carries the crash-safety knobs: ``--checkpoint`` persists
+per-sim-day state, ``--resume`` continues a killed run from it, and
+``--die-after-day`` simulates the kill (checkpoint, then exit code 3).
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ from typing import List, Optional
 from repro.study import StudyRun
 from repro.crawler import CrawlPolicy
 from repro.ecosystem import paper_preset, small_preset
+from repro.faults import PROFILES, SimulatedCrash, profile_named
 from repro.analysis import (
     DailyAggregates,
     campaign_table,
@@ -83,6 +91,21 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="record span traces; writes trace.json + manifest.json "
                           "next to the artifacts and prints the phase tree")
     run.add_argument("--out", default="study-output", help="output directory")
+    run.add_argument("--profile", choices=sorted(PROFILES), default=None,
+                     help="inject faults from a named profile into the "
+                          "measurement crawl")
+    run.add_argument("--fault-seed", type=int, default=0,
+                     help="fault-injection seed (independent of the "
+                          "scenario seed)")
+    run.add_argument("--checkpoint", default=None, metavar="PATH",
+                     help="persist a per-sim-day checkpoint to PATH")
+    run.add_argument("--checkpoint-every", type=int, default=1, metavar="N",
+                     help="checkpoint every N simulated days")
+    run.add_argument("--resume", action="store_true",
+                     help="continue from the --checkpoint file when present")
+    run.add_argument("--die-after-day", type=int, default=None, metavar="N",
+                     help="crash drill: checkpoint after sim-day index N, "
+                          "then exit with code 3")
 
     ablations = sub.add_parser("ablations", help="run intervention counterfactuals")
     ablations.add_argument("--days", type=int, default=70, help="window length")
@@ -117,6 +140,23 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--sparklines", action="store_true",
                        help="also print the per-sim-day series as sparklines")
 
+    chaos = sub.add_parser(
+        "chaos", help="run clean + fault-injected studies and compare"
+    )
+    _add_study_args(chaos)
+    chaos.add_argument("--profile", choices=sorted(PROFILES),
+                       default="monsoon", help="fault profile to inject")
+    chaos.add_argument("--fault-seed", type=int, default=0,
+                       help="fault-injection seed")
+    chaos.add_argument("--out", default="chaos-output",
+                       help="output directory")
+    chaos.add_argument("--tolerance", type=float, default=0.5, metavar="T",
+                       help="max allowed relative PSR-count deviation of the "
+                            "chaos run from the clean run")
+    chaos.add_argument("--skip-verify", action="store_true",
+                       help="skip the repeat chaos run that proves "
+                            "same-fault-seed determinism")
+
     lint = sub.add_parser(
         "lint", help="run the determinism/concurrency static analyzer"
     )
@@ -149,15 +189,37 @@ def command_run(args) -> int:
         set_caches_enabled(False)
     if args.trace:
         set_tracing_enabled(True)
+    if args.die_after_day is not None and args.checkpoint is None:
+        print("repro run: --die-after-day requires --checkpoint",
+              file=sys.stderr)
+        return 2
     config = _config_for(args)
     print(f"Running {args.preset} preset "
           f"({len(config.verticals)} verticals, "
           f"{len(config.all_campaign_specs())} campaigns, "
-          f"{len(config.window)} days)...", flush=True)
-    results = StudyRun(
+          f"{len(config.window)} days"
+          + (f", faults={args.profile}" if args.profile else "")
+          + ")...", flush=True)
+    study = StudyRun(
         config, crawl_policy=CrawlPolicy(stride_days=args.stride),
         n_jobs=args.jobs,
-    ).execute()
+        fault_profile=profile_named(args.profile) if args.profile else None,
+        fault_seed=args.fault_seed,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every_days=args.checkpoint_every,
+        resume=args.resume,
+        die_after_day=args.die_after_day,
+    )
+    try:
+        results = study.execute()
+    except SimulatedCrash:
+        print(f"simulated crash after day index {args.die_after_day}; "
+              f"checkpoint saved to {args.checkpoint} "
+              f"(continue with --resume)")
+        return SimulatedCrash.exit_code
+    if study.resumed_from_day is not None:
+        print(f"resumed from checkpoint at day index "
+              f"{study.resumed_from_day}")
     dataset = results.dataset
     manifest = run_manifest(config)
     os.makedirs(args.out, exist_ok=True)
@@ -339,6 +401,102 @@ def command_trace(args) -> int:
     return 0
 
 
+def command_chaos(args) -> int:
+    """Clean run vs fault-injected run of the same scenario.
+
+    Asserts the resilience invariants the fault layer guarantees: the
+    chaos run completes (no crash), the same fault seed reproduces
+    byte-identical output, and the headline PSR count stays within
+    ``--tolerance`` of the clean run.  Exit 1 on any violation.
+    """
+    if args.no_cache:
+        set_caches_enabled(False)
+    profile = profile_named(args.profile)
+    os.makedirs(args.out, exist_ok=True)
+
+    def run_study(fault_profile=None):
+        return StudyRun(
+            _config_for(args),
+            crawl_policy=CrawlPolicy(stride_days=args.stride),
+            n_jobs=args.jobs,
+            fault_profile=fault_profile,
+            fault_seed=args.fault_seed,
+        ).execute()
+
+    config = _config_for(args)
+    print(f"Chaos drill: {args.preset} preset, profile '{profile.name}' "
+          f"(fault seed {args.fault_seed}, {len(config.window)} days)...",
+          flush=True)
+    clean = run_study()
+    counter_base = dict(PERF.counters())
+    chaos = run_study(profile)
+    fault_counters = {
+        name: value - counter_base.get(name, 0)
+        for name, value in sorted(PERF.counters().items())
+        if name.startswith("faults.") and value != counter_base.get(name, 0)
+    }
+
+    clean.dataset.dump_jsonl(os.path.join(args.out, "psrs-clean.jsonl"))
+    chaos.dataset.dump_jsonl(os.path.join(args.out, "psrs.jsonl"))
+    if chaos.metrics is not None:
+        chaos.metrics.write_jsonl(
+            os.path.join(args.out, "metrics.jsonl"),
+            manifest=run_manifest(config, fault_profile=profile.name,
+                                  fault_seed=args.fault_seed),
+        )
+
+    rows = []
+    for label, fn in (
+        ("PSRs", len),
+        ("doorway domains", lambda d: len(d.doorway_hosts())),
+        ("stores", lambda d: len(d.store_hosts())),
+    ):
+        clean_n, chaos_n = fn(clean.dataset), fn(chaos.dataset)
+        ratio = chaos_n / clean_n if clean_n else 1.0
+        rows.append([label, clean_n, chaos_n, f"{ratio:.2f}x"])
+    print(render_table(["Metric", "clean", "chaos", "ratio"], rows,
+                       title=f"Clean vs '{profile.name}'"))
+    print("\nFault counters (chaos run):")
+    if fault_counters:
+        for name, value in fault_counters.items():
+            print(f"  {name:40s} {value:>8,}")
+    else:
+        print("  (none injected)")
+
+    failures = []
+    clean_n = len(clean.dataset)
+    chaos_n = len(chaos.dataset)
+    deviation = abs(chaos_n - clean_n) / clean_n if clean_n else 0.0
+    if deviation > args.tolerance:
+        failures.append(
+            f"headline PSR count deviates {deviation:.1%} from clean "
+            f"(tolerance {args.tolerance:.0%})"
+        )
+    if not args.skip_verify:
+        print("\nVerifying same-fault-seed determinism (repeat chaos run)...",
+              flush=True)
+        repeat = run_study(profile)
+        repeat_path = os.path.join(args.out, "psrs-repeat.jsonl")
+        repeat.dataset.dump_jsonl(repeat_path)
+        with open(os.path.join(args.out, "psrs.jsonl"), "rb") as first:
+            first_bytes = first.read()
+        with open(repeat_path, "rb") as second:
+            identical = second.read() == first_bytes
+        os.unlink(repeat_path)
+        if identical:
+            print("  identical output: yes")
+        else:
+            failures.append("repeat chaos run with the same fault seed "
+                            "produced different output")
+
+    if failures:
+        for failure in failures:
+            print(f"\nINVARIANT VIOLATED: {failure}")
+        return 1
+    print(f"\nAll resilience invariants hold; artifacts in {args.out}/")
+    return 0
+
+
 def command_lint(args) -> int:
     try:
         rules = select_rules(args.select.split(",") if args.select else None)
@@ -373,6 +531,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return command_perf(args)
     if args.command == "trace":
         return command_trace(args)
+    if args.command == "chaos":
+        return command_chaos(args)
     if args.command == "lint":
         return command_lint(args)
     return 2

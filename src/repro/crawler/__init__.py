@@ -16,7 +16,7 @@ from repro.crawler.vangogh import VanGogh, VanGoghResult
 from repro.crawler.store_detect import StoreDetector, StoreEvidence
 from repro.crawler.records import PsrRecord, PsrDataset, PageArchive
 from repro.crawler.serp_crawler import SearchCrawler, CrawlPolicy
-from repro.crawler.awstats import scrape_awstats
+from repro.crawler.awstats import AwstatsNotPublic, AwstatsUnavailable, scrape_awstats
 
 __all__ = [
     "Dagger",
@@ -30,5 +30,7 @@ __all__ = [
     "PageArchive",
     "SearchCrawler",
     "CrawlPolicy",
+    "AwstatsNotPublic",
+    "AwstatsUnavailable",
     "scrape_awstats",
 ]

@@ -19,13 +19,24 @@ class AwstatsNotPublic(Exception):
     """The store's analytics endpoint is not exposed."""
 
 
+class AwstatsUnavailable(Exception):
+    """The endpoint exists but could not be reached (host outage)."""
+
+
 def scrape_awstats(
-    store: Store, first_day: SimDate, last_day: SimDate
+    store: Store, first_day: SimDate, last_day: SimDate, injector=None
 ) -> AwstatsReport:
-    """Fetch the store's AWStats view over a window; raises when private."""
+    """Fetch the store's AWStats view over a window; raises when private.
+
+    With a :class:`repro.faults.injector.FaultInjector`, the scrape can
+    fail with :class:`AwstatsUnavailable` on injected outage days —
+    callers degrade to crawl-only analysis, the way the paper had to when
+    a store's analytics went dark mid-study."""
     if not store.awstats_public:
         raise AwstatsNotPublic(store.store_id)
     host = store.host_on(last_day) or store.current_domain.name
+    if injector is not None and injector.awstats_down(host, last_day):
+        raise AwstatsUnavailable(host)
     return awstats_for(store.visits, host, first_day, last_day)
 
 

@@ -73,6 +73,15 @@ class DaggerResult:
     def landing_url(self) -> str:
         return self.user_response.final_url
 
+    @property
+    def degraded(self) -> bool:
+        """True when either view carried an injected fault — the verdict
+        is unreliable and must not mark the URL clean."""
+        return (
+            self.user_response.fault is not None
+            or self.crawler_response.fault is not None
+        )
+
 
 #: Always-on check timer (the trace tree shows it under each crawl span).
 _CHECK_TIMER = PERF.handle("crawler.dagger")
@@ -81,9 +90,12 @@ _CHECK_TIMER = PERF.handle("crawler.dagger")
 class Dagger:
     """Fetch-twice-and-diff cloaking detector."""
 
-    def __init__(self, web: Web, similarity_threshold: float = 0.33):
+    def __init__(self, web: Web, similarity_threshold: float = 0.33, fetch=None):
         self.web = web
         self.similarity_threshold = similarity_threshold
+        #: Fetch callable; the measurement crawler passes its
+        #: fault-aware :meth:`ResilientFetcher.fetch` here.
+        self._fetch = fetch if fetch is not None else web.fetch
 
     def check(self, url: str, day: SimDate) -> DaggerResult:
         start = perf_counter()
@@ -93,8 +105,8 @@ class Dagger:
             _CHECK_TIMER.add(perf_counter() - start)
 
     def _check(self, url: str, day: SimDate) -> DaggerResult:
-        user_view = self.web.fetch(url, SEARCH_USER, day)
-        crawler_view = self.web.fetch(url, CRAWLER, day)
+        user_view = self._fetch(url, SEARCH_USER, day)
+        crawler_view = self._fetch(url, CRAWLER, day)
 
         mechanism: Optional[str] = None
         cloaked = False

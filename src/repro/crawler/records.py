@@ -9,9 +9,11 @@ the analysis layer needs, and serializes to JSON lines.
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
+from repro.util.atomicio import atomic_write
 from repro.util.simtime import SimDate
 
 
@@ -74,6 +76,9 @@ class SerpCoverage:
     slots_top100: int = 0
     slots_top10: int = 0
     terms_crawled: int = 0
+    #: Terms whose SERP was lost that day (blocked crawl, missing page) —
+    #: distinguishes unobserved from observed-and-empty.
+    terms_missed: int = 0
 
 
 class PsrDataset:
@@ -85,6 +90,9 @@ class PsrDataset:
         self._coverage: Dict[Tuple[int, str], SerpCoverage] = {}
         self._first_seen_host: Dict[str, SimDate] = {}
         self._last_seen_host: Dict[str, SimDate] = {}
+        #: Crawl-day ordinals with at least one missed SERP (empty in
+        #: clean runs, so gap tolerance is a strict no-op without faults).
+        self._missed_ordinals: Set[int] = set()
 
     # ------------------------------------------------------------------ #
     # Building
@@ -102,6 +110,17 @@ class PsrDataset:
         coverage.slots_top100 += result_count
         coverage.slots_top10 += min(10, result_count)
         coverage.terms_crawled += 1
+
+    def note_missed_serp(self, day: SimDate, vertical: str, term: str) -> None:
+        """Record that (term, day)'s SERP could not be crawled.
+
+        Gap-tolerant analyses (peak duration, seized-store lifetimes)
+        read :meth:`missed_ordinals` to bridge these days instead of
+        treating absence of records as absence of activity."""
+        key = (day.ordinal, vertical)
+        coverage = self._coverage.setdefault(key, SerpCoverage())
+        coverage.terms_missed += 1
+        self._missed_ordinals.add(day.ordinal)
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -134,6 +153,10 @@ class PsrDataset:
 
     def coverage(self, day: SimDate, vertical: str) -> Optional[SerpCoverage]:
         return self._coverage.get((day.ordinal, vertical))
+
+    def missed_ordinals(self) -> Set[int]:
+        """Crawl-day ordinals where at least one SERP went unobserved."""
+        return set(self._missed_ordinals)
 
     def psr_fraction(self, day: SimDate, vertical: str, topk: int = 100) -> float:
         """Fraction of crawled result slots that were poisoned."""
@@ -190,8 +213,9 @@ class PsrDataset:
     def dump_jsonl(self, path: str, manifest: Optional[dict] = None) -> None:
         """One record per line; with ``manifest``, a leading provenance row
         (``{"_type": "manifest", ...}``) that :meth:`load_jsonl` skips.
-        Record lines are byte-identical with or without the header."""
-        with open(path, "w") as handle:
+        Record lines are byte-identical with or without the header.
+        Written atomically: a kill mid-dump leaves the previous file."""
+        with atomic_write(path) as handle:
             if manifest is not None:
                 handle.write(json.dumps({"_type": "manifest", **manifest},
                                         sort_keys=True))
@@ -202,15 +226,31 @@ class PsrDataset:
 
     @classmethod
     def load_jsonl(cls, path: str) -> "PsrDataset":
+        """Load a PSR dump, tolerating a torn final line.
+
+        Only the *last* line may be unparseable (a writer killed
+        mid-append under a non-atomic writer); it is skipped with a
+        warning.  Corruption anywhere else still raises."""
         dataset = cls()
         with open(path) as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                if line.startswith('{"_type"'):
-                    continue
+            lines = handle.read().splitlines()
+        for index, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith('{"_type"'):
+                continue
+            try:
                 dataset.add(PsrRecord.from_json(line))
+            except (json.JSONDecodeError, KeyError, TypeError):
+                if index == len(lines) - 1:
+                    warnings.warn(
+                        f"{path}: skipping torn final line ({len(line)} bytes)",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    break
+                raise
         return dataset
 
 

@@ -21,9 +21,11 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Set
 
 from repro.obs.trace import TRACER
+from repro.util.perf import PERF
 from repro.util.simtime import SimDate
 from repro.web.fetch import Response
 from repro.web.urls import parse_url
+from repro.faults.retry import ResilientFetcher, RetryPolicy
 from repro.interventions.notices import NoticeInfo, parse_notice_page
 from repro.crawler.dagger import Dagger
 from repro.crawler.records import PageArchive, PsrDataset, PsrRecord
@@ -56,11 +58,19 @@ class _LandingInfo:
 class SearchCrawler:
     """Observer plugged into the simulator; builds the PSR dataset."""
 
-    def __init__(self, web, policy: Optional[CrawlPolicy] = None):
+    def __init__(
+        self,
+        web,
+        policy: Optional[CrawlPolicy] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+    ):
         self.web = web
         self.policy = policy or CrawlPolicy()
-        self.dagger = Dagger(web)
-        self.vangogh = VanGogh(web)
+        #: Every measurement fetch goes through the fault-aware fetcher
+        #: (a pass-through while the web carries no injector).
+        self.fetcher = ResilientFetcher(web, retry_policy)
+        self.dagger = Dagger(web, fetch=self.fetcher.fetch)
+        self.vangogh = VanGogh(web, fetch=self.fetcher.fetch)
         self.store_detector = StoreDetector()
         self.dataset = PsrDataset()
         self.archive = PageArchive()
@@ -97,8 +107,15 @@ class SearchCrawler:
             self.crawl_day_count += 1
             self._renders_today = {}
             self._landing_today = {}
+            injector = getattr(self.web, "fault_injector", None)
             for term, serp in context.serps.items():
                 vertical = context.vertical_of_term[term]
+                if injector is not None and injector.serp_missing(term, day):
+                    # Lost SERP: record the gap so denominators and the
+                    # gap-tolerant analyses know this (term, day) was not
+                    # observed, rather than observed-and-empty.
+                    self.dataset.note_missed_serp(day, vertical, term)
+                    continue
                 self.dataset.note_serp(day, vertical, len(serp.results))
                 for result in serp.results:
                     self._process_result(day, vertical, term, result)
@@ -170,6 +187,12 @@ class SearchCrawler:
             self._mark_poisoned(url, host, mechanism)
             self.archive.add_doorway(host, dagger_result.crawler_response.html)
             return mechanism
+        if dagger_result.degraded:
+            # A faulted check proves nothing: leave the URL unknown (it is
+            # re-examined on its next SERP appearance) instead of caching
+            # a clean verdict off lost or damaged fetches.
+            PERF.count("faults.degraded.classify")
+            return None
         renders = self._renders_today.get(host, 0)
         if renders >= self.policy.max_renders_per_host_per_day:
             return None
@@ -179,6 +202,9 @@ class SearchCrawler:
             self._mark_poisoned(url, host, "iframe")
             self.archive.add_doorway(host, dagger_result.crawler_response.html)
             return "iframe"
+        if vg.fault is not None:
+            PERF.count("faults.degraded.classify")
+            return None
         self._clean_urls[url] = day
         if host not in self._poisoned_hosts:
             self._clean_hosts[host] = day
@@ -200,6 +226,15 @@ class SearchCrawler:
             return self._landing_today[host]
         landing_response = self._fetch_landing(url, mechanism, day)
         info: Optional[_LandingInfo] = None
+        if (
+            landing_response is not None
+            and landing_response.fault is not None
+            and not landing_response.ok
+        ):
+            # Landing lost to an injected fault after retries: this host's
+            # PSRs are dropped for the day (mark-and-tolerate; the analyses
+            # bridge the gap) rather than recorded with a bogus landing.
+            PERF.count("faults.degraded.landing")
         if landing_response is not None and landing_response.ok:
             landing_host = parse_url(landing_response.final_url).host
             notice = parse_notice_page(landing_response.html)

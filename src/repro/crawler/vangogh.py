@@ -55,6 +55,9 @@ class VanGoghResult:
     #: The store page fetched through the iframe (what the user "sees").
     landing_response: Optional[Response]
     rendered_iframe_count: int
+    #: Injected-fault tag on the page fetch (None on clean fetches); a
+    #: faulted check must not mark the URL clean.
+    fault: Optional[str] = None
 
 
 #: Always-on check timer (the trace tree shows it under each crawl span).
@@ -64,8 +67,11 @@ _CHECK_TIMER = PERF.handle("crawler.vangogh")
 class VanGogh:
     """Render-and-inspect iframe-cloaking detector."""
 
-    def __init__(self, web: Web):
+    def __init__(self, web: Web, fetch=None):
         self.web = web
+        #: Fetch callable; the measurement crawler passes its
+        #: fault-aware :meth:`ResilientFetcher.fetch` here.
+        self._fetch = fetch if fetch is not None else web.fetch
 
     def check(self, url: str, day: SimDate) -> VanGoghResult:
         start = perf_counter()
@@ -75,9 +81,9 @@ class VanGogh:
             _CHECK_TIMER.add(perf_counter() - start)
 
     def _check(self, url: str, day: SimDate) -> VanGoghResult:
-        response = self.web.fetch(url, RENDERING_CRAWLER, day)
+        response = self._fetch(url, RENDERING_CRAWLER, day)
         if not response.ok:
-            return VanGoghResult(url, False, None, None, 0)
+            return VanGoghResult(url, False, None, None, 0, fault=response.fault)
         # Cached on (content hash, profile): identical cloaked payloads —
         # the common case for doorways re-checked across crawl days — skip
         # the parse + script-execution pass entirely.
@@ -85,13 +91,14 @@ class VanGogh:
         fullpage = find_fullpage_iframes(rendered)
         if not fullpage:
             return VanGoghResult(
-                url, False, None, None, len(rendered.find_all("iframe"))
+                url, False, None, None, len(rendered.find_all("iframe")),
+                fault=response.fault,
             )
         src = fullpage[0].get("src")
         landing: Optional[Response] = None
         if src:
             try:
-                landing = self.web.fetch(src, SEARCH_USER, day)
+                landing = self._fetch(src, SEARCH_USER, day)
             except Exception:
                 landing = None
         return VanGoghResult(
@@ -100,4 +107,5 @@ class VanGogh:
             iframe_src=src or None,
             landing_response=landing,
             rendered_iframe_count=len(rendered.find_all("iframe")),
+            fault=response.fault,
         )

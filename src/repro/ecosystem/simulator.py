@@ -165,8 +165,21 @@ class Simulator:
     # Running
     # ------------------------------------------------------------------ #
 
-    def run(self, observers: Sequence[object] = ()) -> World:
-        """Run the full window; observers get a DayContext every day."""
+    def run(
+        self,
+        observers: Sequence[object] = (),
+        start_index: int = 0,
+        checkpointer=None,
+    ) -> World:
+        """Run the window; observers get a DayContext every day.
+
+        ``start_index`` skips already-simulated days when resuming from a
+        checkpoint (the checkpointed state already contains their
+        effects).  ``checkpointer`` (a
+        :class:`repro.faults.checkpoint.Checkpointer`) is called after
+        every completed day; it may raise
+        :class:`~repro.faults.checkpoint.SimulatedCrash`.
+        """
         self.build()
         world = self.world
         vertical_of_term: Dict[str, str] = {}
@@ -174,8 +187,10 @@ class Simulator:
             for term in vertical.terms:
                 vertical_of_term[term] = name
         day_timer = PERF.handle("simulator.day")
-        with TRACER.span("simulate", days=len(world.window)):
-            for day in world.window:
+        with TRACER.span("simulate", days=len(world.window) - start_index):
+            for day_index, day in enumerate(world.window):
+                if day_index < start_index:
+                    continue
                 day_start = perf_counter()
                 world.today = day
                 with TRACER.span("day", sim_day=day.isoformat()):
@@ -202,6 +217,8 @@ class Simulator:
                     for observer in observers:
                         observer.on_day(world, context)
                 day_timer.add(perf_counter() - day_start)
+                if checkpointer is not None:
+                    checkpointer.on_day_complete(self, observers, day_index, day)
         return world
 
     # ------------------------------------------------------------------ #

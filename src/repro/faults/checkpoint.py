@@ -1,0 +1,174 @@
+"""Crash-safe per-sim-day checkpoints of the whole study state.
+
+The simulator, its observers (crawler, orderer, metrics recorder), and
+everything they reference — the world, the engine caches, the RNG streams
+— form one object graph; pickling them together in a single payload
+preserves every shared reference, so a resumed run is the *same* program
+state, not a reconstruction.  Checkpoints are written through
+:func:`repro.util.atomicio.atomic_write`: a kill mid-save leaves the
+previous complete checkpoint.
+
+``repro run --resume`` (and :class:`repro.study.StudyRun` with
+``resume=True``) loads the newest checkpoint, verifies the scenario
+config digest and a recomputed state digest, and continues the day loop —
+producing final artifacts byte-identical to an uninterrupted run
+(pinned in ``tests/test_faults.py``).
+
+:class:`SimulatedCrash` gives tests and CI a deterministic kill: the
+checkpointer raises it right after persisting the configured day, which
+sidesteps flaky subprocess-kill timing entirely.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from hashlib import blake2b
+from typing import List, Optional, Sequence, Tuple
+
+from repro.obs.manifest import config_digest, run_manifest
+from repro.util.atomicio import atomic_write
+from repro.util.perf import PERF
+
+#: Checkpoint payload schema, bumped on layout changes.
+CHECKPOINT_SCHEMA = 1
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint exists but cannot be resumed from."""
+
+
+class SimulatedCrash(RuntimeError):
+    """Deterministic kill raised after checkpointing ``--die-after-day``."""
+
+    #: Process exit code the CLI maps this to.
+    exit_code = 3
+
+
+def state_digest(simulator, observers: Sequence[object]) -> str:
+    """A cheap fingerprint of resumable study state.
+
+    Covers the simulation clock, the traffic RNG's full state, and each
+    observer's progress counters.  Recomputed after load and compared to
+    the value recorded at save time, it catches state that silently fails
+    to round-trip through pickle (a ``__getstate__`` that drops a field).
+    """
+    parts: List[str] = []
+    today = getattr(simulator.world, "today", None)
+    parts.append(today.isoformat() if today is not None else "")
+    parts.append(str(simulator._traffic_rng.getstate()))
+    for observer in observers:
+        parts.append(type(observer).__name__)
+        dataset = getattr(observer, "dataset", None)
+        records = getattr(dataset, "records", None)
+        if records is not None:
+            parts.append(str(len(records)))
+            if records:
+                parts.append(records[-1].to_json())
+        total = getattr(observer, "total_orders_created", None)
+        if total is not None:
+            parts.append(str(total))
+    digest = blake2b(digest_size=8)
+    for part in parts:
+        digest.update(part.encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+class Checkpointer:
+    """Persists the (simulator, observers) graph at day boundaries."""
+
+    def __init__(
+        self,
+        path: str,
+        config,
+        every_days: int = 1,
+        die_after_day: Optional[int] = None,
+    ):
+        self.path = path
+        self.config = config
+        self.config_digest = config_digest(config)
+        self.every_days = max(1, every_days)
+        #: When set, raise :class:`SimulatedCrash` after checkpointing this
+        #: 0-based day index (testing/CI hook).
+        self.die_after_day = die_after_day
+        self.saves = 0
+        self.last_digest: Optional[str] = None
+
+    def on_day_complete(self, simulator, observers, day_index: int, day) -> None:
+        """Called by the simulator after every completed sim day."""
+        dying = self.die_after_day is not None and day_index >= self.die_after_day
+        total_days = len(simulator.world.window)
+        due = (day_index + 1) % self.every_days == 0
+        if due or dying or day_index == total_days - 1:
+            self.save(simulator, observers, day_index, day)
+        if dying:
+            raise SimulatedCrash(
+                f"simulated crash after sim day {day_index} ({day.isoformat()})"
+            )
+
+    def save(self, simulator, observers, day_index: int, day) -> None:
+        digest = state_digest(simulator, observers)
+        payload = {
+            "schema": CHECKPOINT_SCHEMA,
+            "config_digest": self.config_digest,
+            "day_index": day_index,
+            "day": day.isoformat(),
+            "state_digest": digest,
+            # The standard provenance block, extended with where and what
+            # this checkpoint captured.
+            "manifest": run_manifest(
+                self.config, checkpoint_day_index=day_index, state_digest=digest
+            ),
+            "simulator": simulator,
+            "observers": list(observers),
+        }
+        with atomic_write(self.path, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        self.saves += 1
+        self.last_digest = digest
+        PERF.count("faults.checkpoint.saved")
+
+    def clear(self) -> None:
+        """Remove the checkpoint after a successful complete run."""
+        if os.path.exists(self.path):
+            os.unlink(self.path)
+
+
+def load_checkpoint(path: str, config) -> Tuple[object, List[object], int, dict]:
+    """Load and verify a checkpoint.
+
+    Returns ``(simulator, observers, next_day_index, manifest)``.  Raises
+    :class:`CheckpointError` when the file belongs to a different scenario
+    config, uses a different schema, or its state fails digest verification
+    after unpickling.
+    """
+    with open(path, "rb") as handle:
+        payload = pickle.load(handle)
+    schema = payload.get("schema")
+    if schema != CHECKPOINT_SCHEMA:
+        raise CheckpointError(
+            f"checkpoint schema {schema!r} != supported {CHECKPOINT_SCHEMA}"
+        )
+    expected = config_digest(config)
+    if payload["config_digest"] != expected:
+        raise CheckpointError(
+            f"checkpoint was written for config {payload['config_digest']}, "
+            f"not {expected} — refusing to resume a different scenario"
+        )
+    simulator = payload["simulator"]
+    observers = payload["observers"]
+    recomputed = state_digest(simulator, observers)
+    if recomputed != payload["state_digest"]:
+        raise CheckpointError(
+            f"state digest mismatch after load: saved {payload['state_digest']}, "
+            f"recomputed {recomputed} — checkpointed state did not round-trip"
+        )
+    for observer in observers:
+        rebase = getattr(observer, "rebase", None)
+        if callable(rebase):
+            # e.g. MetricsRecorder: PERF deltas must restart from the new
+            # process's registry, not the dead process's totals.
+            rebase()
+    PERF.count("faults.checkpoint.loaded")
+    return simulator, observers, payload["day_index"] + 1, payload["manifest"]

@@ -1,0 +1,124 @@
+"""Named fault profiles: per-kind rates for the deterministic injector.
+
+A profile is just a bag of probabilities (plus the IP-block window
+length); all the determinism machinery lives in
+:class:`repro.faults.injector.FaultInjector`.  Rates are per *decision*:
+``timeout_rate`` is per fetch attempt, ``serp_missing_rate`` per
+(term, day) SERP request, ``ip_block_rate`` per (host, window),
+``awstats_down_rate`` per (host, day) scrape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Fault rates for one chaos scenario.
+
+    All rates are probabilities in [0, 1].  A profile with every rate at
+    zero injects nothing — the pipeline behaves byte-identically to a run
+    with no injector attached.
+    """
+
+    name: str
+    description: str = ""
+    #: Per-attempt probability a fetch times out (transient; retried).
+    timeout_rate: float = 0.0
+    #: Per-attempt probability of a connection error (transient; retried).
+    connection_rate: float = 0.0
+    #: Per-(url, day) probability the response body is cut short.
+    truncated_rate: float = 0.0
+    #: Per-(url, day) probability the response body is garbled.
+    garbled_rate: float = 0.0
+    #: Per-(term, day) probability a SERP page goes missing.
+    serp_missing_rate: float = 0.0
+    #: Per-day probability the crawler loses the *whole* SERP day.
+    serp_blackout_rate: float = 0.0
+    #: Per-(host, window) probability the host blocks the crawler's IPs.
+    ip_block_rate: float = 0.0
+    #: Length of one IP-block window in days.
+    ip_block_days: int = 3
+    #: Per-(host, day) probability the AWStats endpoint is down.
+    awstats_down_rate: float = 0.0
+
+    def active(self) -> bool:
+        """True when any fault kind can fire."""
+        return any(
+            rate > 0.0
+            for rate in (
+                self.timeout_rate,
+                self.connection_rate,
+                self.truncated_rate,
+                self.garbled_rate,
+                self.serp_missing_rate,
+                self.serp_blackout_rate,
+                self.ip_block_rate,
+                self.awstats_down_rate,
+            )
+        )
+
+
+PROFILES: Dict[str, FaultProfile] = {
+    profile.name: profile
+    for profile in (
+        FaultProfile(
+            name="clean",
+            description="No faults; identical to running without an injector.",
+        ),
+        FaultProfile(
+            name="flaky-network",
+            description="Transient fetch failures the retry layer should absorb.",
+            timeout_rate=0.08,
+            connection_rate=0.04,
+        ),
+        FaultProfile(
+            name="blocked-crawler",
+            description="SEO kits block the crawler's IPs for multi-day windows.",
+            ip_block_rate=0.15,
+            ip_block_days=4,
+            timeout_rate=0.02,
+        ),
+        FaultProfile(
+            name="lossy-serps",
+            description="SERP pages vanish; occasional whole-day crawl blackouts.",
+            serp_missing_rate=0.10,
+            serp_blackout_rate=0.04,
+        ),
+        FaultProfile(
+            name="degraded-content",
+            description="Pages arrive truncated or garbled mid-transfer.",
+            truncated_rate=0.12,
+            garbled_rate=0.08,
+        ),
+        FaultProfile(
+            name="awstats-outage",
+            description="Compromised hosts' AWStats endpoints flap.",
+            awstats_down_rate=0.25,
+        ),
+        FaultProfile(
+            name="monsoon",
+            description="Everything at once: the eight-month-study experience.",
+            timeout_rate=0.06,
+            connection_rate=0.03,
+            truncated_rate=0.05,
+            garbled_rate=0.03,
+            serp_missing_rate=0.05,
+            serp_blackout_rate=0.02,
+            ip_block_rate=0.10,
+            ip_block_days=3,
+            awstats_down_rate=0.15,
+        ),
+    )
+}
+
+
+def profile_named(name: str) -> FaultProfile:
+    """Look up a preset profile; raises with the known names on a miss."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(PROFILES))
+        raise KeyError(f"unknown fault profile {name!r} (known: {known})") from None

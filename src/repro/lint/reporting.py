@@ -96,6 +96,8 @@ def write_summary(report: LintReport, path: str) -> None:
 
     payload = {"version": SCHEMA_VERSION, "manifest": run_manifest()}
     payload.update(summary_dict(report))
-    with open(path, "w", encoding="utf-8") as handle:
+    from repro.util.atomicio import atomic_write
+
+    with atomic_write(path) as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")

@@ -11,6 +11,8 @@ exposed to (thread-pool fits, seeded-stream discipline):
 * :mod:`repro.lint.rules.defaults` — D006 mutable default arguments
 * :mod:`repro.lint.rules.concurrency` — D007 module state written from pool workers
 * :mod:`repro.lint.rules.errors` — D008 swallowed exceptions
+* :mod:`repro.lint.rules.retry` — D009 retry discipline (unbounded loops,
+  wall-clock backoff)
 """
 
 from repro.lint.rules import (  # noqa: F401
@@ -19,6 +21,7 @@ from repro.lint.rules import (  # noqa: F401
     errors,
     identity,
     ordering,
+    retry,
     rng,
     wallclock,
 )

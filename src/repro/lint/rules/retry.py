@@ -1,0 +1,100 @@
+"""D009 — retry discipline.
+
+The fault-injection layer (:mod:`repro.faults`) made retrying a fetch a
+normal thing for crawler code to do, which creates two new hazards:
+
+* a ``while True`` loop that retries on exception has no attempt bound —
+  a persistent injected fault (or a real bug) spins it forever;
+* ``time.sleep`` backoff stalls the *host*, not the simulation: backoff
+  must accumulate simulated seconds
+  (:attr:`repro.faults.retry.ResilientFetcher.simulated_backoff_s`), so a
+  chaos run finishes in the same wall time as a clean one.
+
+Unseeded jitter sources are already D001's domain (module-global
+``random``); this rule covers the loop shape and the sleep call.  The
+sanctioned pattern is a bounded ``for attempt in range(n)`` loop with
+capped exponential backoff drawn from a seeded stream — see
+:class:`repro.faults.retry.RetryPolicy`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Set
+
+from repro.lint.core import Finding, LintContext, Rule, dotted_name
+from repro.lint.registry import register
+
+
+def _is_constant_true(test: ast.AST) -> bool:
+    return isinstance(test, ast.Constant) and bool(test.value)
+
+
+def _retries_on_exception(loop: ast.While) -> bool:
+    """True when the loop body continues (or falls through) from an
+    exception handler — the retry-on-error shape."""
+    for node in ast.walk(loop):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        for stmt in ast.walk(node):
+            if isinstance(stmt, (ast.Continue, ast.Pass)):
+                return True
+    return False
+
+
+@register
+class RetryDisciplineRule(Rule):
+    """D009: unbounded ``while True`` retry loops; ``time.sleep`` backoff."""
+
+    code = "D009"
+    name = "retry-discipline"
+    hint = "bound attempts (for attempt in range(n)) and accumulate simulated backoff seconds"
+    node_types = (ast.While, ast.Call, ast.ImportFrom)
+
+    def begin_module(self, tree: ast.Module, ctx: LintContext) -> None:
+        self.time_aliases: Set[str] = set()
+        self.sleep_aliases: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        self.time_aliases.add(alias.asname or "time")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "time" and node.level == 0:
+                    for alias in node.names:
+                        if alias.name == "sleep":
+                            self.sleep_aliases.add(alias.asname or "sleep")
+
+    def visit_node(self, node: ast.AST, ctx: LintContext) -> Iterable[Finding]:
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "time" and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "sleep":
+                        yield self.finding(ctx, node, (
+                            "'from time import sleep' imports wall-clock "
+                            "backoff into simulation code"
+                        ))
+            return
+        if isinstance(node, ast.While):
+            if _is_constant_true(node.test) and _retries_on_exception(node):
+                yield self.finding(ctx, node, (
+                    "unbounded 'while True' retry loop — a persistent "
+                    "fault spins it forever"
+                ))
+            return
+        name = dotted_name(node.func)
+        if name is None:
+            return
+        if name in self.sleep_aliases:
+            yield self.finding(ctx, node, (
+                "wall-clock sleep() as retry backoff stalls the host, "
+                "not the simulation"
+            ))
+            return
+        if "." in name:
+            base, _, attr = name.rpartition(".")
+            if base in self.time_aliases and attr == "sleep":
+                yield self.finding(ctx, node, (
+                    "wall-clock time.sleep() as retry backoff stalls the "
+                    "host, not the simulation"
+                ))

@@ -27,8 +27,10 @@ byte-identical outputs (pinned in ``tests/test_obs.py``).
 from __future__ import annotations
 
 import json
+import warnings
 from typing import Dict, List, Optional, Tuple
 
+from repro.util.atomicio import atomic_write
 from repro.util.perf import PERF
 
 #: Column order of one metrics row (the JSONL schema, golden-tested).
@@ -45,6 +47,9 @@ METRICS_COLUMNS: Tuple[str, ...] = (
     "labels_active",    # hosts carrying a SERP warning label
     "penalties_active", # hosts under a ranking penalty
     "cache_hit_rate",   # content-addressed cache hits/(hits+misses) this day
+    "faults_injected",  # faults.injected.* counter deltas this day
+    "faults_retried",   # fetch attempts retried after a transient fault
+    "faults_degraded",  # records dropped/deferred because inputs were damaged
 )
 
 
@@ -63,6 +68,19 @@ class MetricsRecorder:
         # registry is process-global and may already carry earlier runs.
         self._serp_base = self._serp_totals()
         self._cache_base = self._cache_totals()
+        self._fault_base = self._fault_totals()
+
+    def rebase(self) -> None:
+        """Re-anchor PERF-delta baselines to the *current* registry totals.
+
+        Called after a checkpoint resume: the recorder's pickled baselines
+        refer to the crashed process's counter values, which the fresh
+        process never accumulated.  Without rebasing, the first resumed
+        day would report huge negative deltas.
+        """
+        self._serp_base = self._serp_totals()
+        self._cache_base = self._cache_totals()
+        self._fault_base = self._fault_totals()
 
     # ------------------------------------------------------------------ #
     # Observer interface
@@ -73,6 +91,7 @@ class MetricsRecorder:
         serp_calls, serp_s = self._serp_delta()
         hits, misses = self._cache_delta()
         looked_up = hits + misses
+        injected, retried, degraded = self._fault_delta()
 
         psrs_today = 0
         active_doorways = 0
@@ -105,6 +124,9 @@ class MetricsRecorder:
             "labels_active": len(world.engine.labeled_hosts()),
             "penalties_active": len(world.engine.penalized_hosts()),
             "cache_hit_rate": (hits / looked_up) if looked_up else 0.0,
+            "faults_injected": injected,
+            "faults_retried": retried,
+            "faults_degraded": degraded,
         }
         for name in METRICS_COLUMNS:
             self.columns[name].append(row[name])
@@ -140,6 +162,26 @@ class MetricsRecorder:
         self._cache_base = (hits, misses)
         return hits - hits0, misses - misses0
 
+    @staticmethod
+    def _fault_totals() -> Tuple[int, int, int]:
+        injected = 0
+        retried = 0
+        degraded = 0
+        for name, value in PERF.counters().items():
+            if name.startswith("faults.injected."):
+                injected += value
+            elif name == "faults.retried":
+                retried += value
+            elif name.startswith("faults.degraded."):
+                degraded += value
+        return injected, retried, degraded
+
+    def _fault_delta(self) -> Tuple[int, int, int]:
+        totals = self._fault_totals()
+        base = self._fault_base
+        self._fault_base = totals
+        return tuple(now - then for now, then in zip(totals, base))
+
     # ------------------------------------------------------------------ #
     # Access / serialization
     # ------------------------------------------------------------------ #
@@ -159,7 +201,7 @@ class MetricsRecorder:
 
     def write_jsonl(self, path: str, manifest: Optional[dict] = None) -> None:
         """One JSON row per simulated day; optional manifest header row."""
-        with open(path, "w") as handle:
+        with atomic_write(path) as handle:
             if manifest is not None:
                 handle.write(json.dumps(
                     {"_type": "manifest", **manifest}, sort_keys=True))
@@ -175,16 +217,28 @@ class MetricsRecorder:
         manifest: Optional[dict] = None
         rows: List[dict] = []
         with open(path) as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
+            lines = handle.readlines()
+        for lineno, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
                 payload = json.loads(line)
-                kind = payload.pop("_type", "sample")
-                if kind == "manifest":
-                    manifest = payload
-                elif kind == "sample":
-                    rows.append(payload)
+            except json.JSONDecodeError:
+                if lineno == len(lines) - 1:
+                    # A crash mid-write leaves at most one torn final line;
+                    # tolerate it rather than losing the whole series.
+                    warnings.warn(
+                        f"{path}: skipping torn final line ({len(line)} bytes)",
+                        RuntimeWarning, stacklevel=2,
+                    )
+                    break
+                raise
+            kind = payload.pop("_type", "sample")
+            if kind == "manifest":
+                manifest = payload
+            elif kind == "sample":
+                rows.append(payload)
         return manifest, rows
 
     def render_sparklines(self, width: int = 60) -> str:

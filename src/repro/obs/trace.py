@@ -280,7 +280,9 @@ class Tracer:
     def dump_chrome_trace(self, path: str, manifest: Optional[dict] = None) -> None:
         import json
 
-        with open(path, "w") as handle:
+        from repro.util.atomicio import atomic_write
+
+        with atomic_write(path) as handle:
             json.dump(self.chrome_trace(manifest), handle, indent=1, sort_keys=True)
             handle.write("\n")
 

@@ -113,6 +113,13 @@ class OrderVolumeSeries:
         )
 
 
+def _host_as_group(host: str) -> str:
+    """Default order-cap grouping: each store host is its own group.
+
+    Module-level (not a lambda) so a checkpointed orderer pickles."""
+    return host
+
+
 class TestOrderer:
     """Simulator observer creating weekly test orders on discovered stores."""
 
@@ -127,7 +134,7 @@ class TestOrderer:
         self.crawler = crawler
         self.policy = policy or OrderPolicy()
         #: Groups stores for the 3-orders/day cap; defaults to per-store.
-        self.campaign_of_host = campaign_of_host or (lambda host: host)
+        self.campaign_of_host = campaign_of_host or _host_as_group
         self.tracked: Dict[str, TrackedStore] = {}
         self._host_to_key: Dict[str, str] = {}
         self._vangogh = VanGogh(web)

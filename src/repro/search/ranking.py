@@ -73,11 +73,16 @@ class NoiseSource:
 
     def __init__(self, streams: RandomStreams, sigma: float):
         self.sigma = sigma
+        self._seed_path = (streams.base_seed, streams.path)
+        self._init_state()
+
+    def _init_state(self) -> None:
+        base_seed, path = self._seed_path
         # Pre-feed the stream path; per-query hashing is then one copy()
         # plus one update() over "term@ordinal".
         prefix = hashlib.sha256()
-        prefix.update(str(streams.base_seed).encode("utf-8"))
-        for name in streams.path + ("ranking-noise",):
+        prefix.update(str(base_seed).encode("utf-8"))
+        for name in tuple(path) + ("ranking-noise",):
             prefix.update(b"\x00")
             prefix.update(name.encode("utf-8"))
         self._prefix = prefix
@@ -92,6 +97,16 @@ class NoiseSource:
             "has_uint32": 0,
             "uinteger": 0,
         }
+
+    def __getstate__(self) -> dict:
+        # hashlib objects can't pickle; every per-(term, day) stream is
+        # derived fresh, so (sigma, seed path) fully determines behaviour.
+        return {"sigma": self.sigma, "_seed_path": self._seed_path}
+
+    def __setstate__(self, state: dict) -> None:
+        self.sigma = state["sigma"]
+        self._seed_path = state["_seed_path"]
+        self._init_state()
 
     def _state_for(self, term: str, day) -> dict:
         digest = self._prefix.copy()

@@ -51,6 +51,84 @@ class ScheduledSignal:
         return self.schedule.level(day) * self.quality
 
 
+class _StorefrontHome:
+    """Picklable generator for a store's home page (checkpointable state)."""
+
+    __slots__ = ("theme", "store", "host")
+
+    def __init__(self, theme: TemplateTheme, store: Store, host: str):
+        self.theme = theme
+        self.store = store
+        self.host = host
+
+    def __call__(self) -> str:
+        return self.theme.storefront_home(self.store, self.host)
+
+
+class _StorefrontProduct:
+    """Picklable generator for one product page."""
+
+    __slots__ = ("theme", "store", "product", "key")
+
+    def __init__(self, theme: TemplateTheme, store: Store, product, key: str):
+        self.theme = theme
+        self.store = store
+        self.product = product
+        self.key = key
+
+    def __call__(self) -> str:
+        return self.theme.storefront_product(self.store, self.product, self.key)
+
+
+class _StorefrontCheckout:
+    """Picklable generator for the checkout page."""
+
+    __slots__ = ("theme", "store")
+
+    def __init__(self, theme: TemplateTheme, store: Store):
+        self.theme = theme
+        self.store = store
+
+    def __call__(self) -> str:
+        return self.theme.storefront_checkout(self.store, None)
+
+
+class _CheckoutConfirm:
+    """Picklable responder for /checkout/confirm: allocates an order number
+    per request (the purchase-pair observable)."""
+
+    __slots__ = ("theme", "store", "cookies")
+
+    def __init__(self, theme: TemplateTheme, store: Store, cookies: tuple):
+        self.theme = theme
+        self.store = store
+        self.cookies = cookies
+
+    def __call__(self, profile, day) -> PageResult:
+        number = self.store.allocate_order_number(day)
+        return PageResult(
+            html=self.theme.storefront_checkout(self.store, number),
+            cookies=self.cookies,
+        )
+
+
+class _CncLanding:
+    """Picklable C&C landing-URL lookup bound to one (campaign, store).
+
+    Doorway page contexts hold one of these; like :class:`ScheduledSignal`
+    it is a class rather than a closure so checkpointed worlds pickle."""
+
+    __slots__ = ("campaign", "store_id")
+
+    def __init__(self, campaign: "Campaign", store_id: str):
+        self.campaign = campaign
+        self.store_id = store_id
+
+    def __call__(self) -> Optional[str]:
+        assert self.campaign.cnc is not None
+        return self.campaign.cnc.landing_url(self.store_id)
+
+
 @dataclass
 class CampaignSpec:
     """Static description of one campaign (Table 2 row, roughly)."""
@@ -269,7 +347,7 @@ class Campaign:
         site.add_page(
             StaticPage(
                 "/",
-                generator=lambda: theme.storefront_home(store, host),
+                generator=_StorefrontHome(theme, store, host),
                 cookies=cookies,
             )
         )
@@ -277,8 +355,8 @@ class Campaign:
             site.add_page(
                 StaticPage(
                     f"/product/{product.sku}.html",
-                    generator=lambda p=product: theme.storefront_product(
-                        store, p, f"{host}:{p.sku}"
+                    generator=_StorefrontProduct(
+                        theme, store, product, f"{host}:{product.sku}"
                     ),
                     cookies=cookies,
                 )
@@ -286,18 +364,13 @@ class Campaign:
         site.add_page(
             StaticPage(
                 "/checkout",
-                generator=lambda: theme.storefront_checkout(store, None),
+                generator=_StorefrontCheckout(theme, store),
                 cookies=cookies,
             )
         )
-
-        def confirm(profile, day) -> PageResult:
-            number = store.allocate_order_number(day)
-            return PageResult(
-                html=theme.storefront_checkout(store, number), cookies=cookies
-            )
-
-        site.add_page(DynamicPage("/checkout/confirm", confirm))
+        site.add_page(
+            DynamicPage("/checkout/confirm", _CheckoutConfirm(theme, store, cookies))
+        )
 
     def _plan_doorways(self, window: DateRange) -> None:
         spec = self.spec
@@ -427,12 +500,8 @@ class Campaign:
         weights = [3.0] + [1.0] * (len(stores) - 1)
         return self._rng.choices(stores, weights=weights, k=1)[0]
 
-    def _make_landing_lookup(self, world, store: Store):
-        def landing() -> Optional[str]:
-            assert self.cnc is not None
-            return self.cnc.landing_url(store.store_id)
-
-        return landing
+    def _make_landing_lookup(self, world, store: Store) -> _CncLanding:
+        return _CncLanding(self, store.store_id)
 
     # ------------------------------------------------------------------ #
     # Seizure reaction and rotation

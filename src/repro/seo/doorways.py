@@ -118,8 +118,19 @@ def build_doorway(
     return doorway
 
 
-def _make_responder(kit, context: DoorwayPageContext):
-    def respond(profile: VisitorProfile, day: SimDate) -> PageResult:
-        return kit.respond(context, profile, day)
+@dataclass
+class KitResponder:
+    """Picklable responder binding a cloaking kit to one page context.
 
-    return respond
+    Doorway pages live in checkpointed world state, so their responders
+    must survive a pickle round-trip — a local closure would not."""
+
+    kit: object
+    context: DoorwayPageContext
+
+    def __call__(self, profile: VisitorProfile, day: SimDate) -> PageResult:
+        return self.kit.respond(self.context, profile, day)
+
+
+def _make_responder(kit, context: DoorwayPageContext) -> KitResponder:
+    return KitResponder(kit, context)

@@ -17,14 +17,19 @@ Reproduces the paper's full methodology in one call:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.ecosystem.config import ScenarioConfig
 from repro.ecosystem.simulator import Simulator
 from repro.ecosystem.world import World
 from repro.crawler.records import PageArchive, PsrDataset
 from repro.crawler.serp_crawler import CrawlPolicy, SearchCrawler
+from repro.faults.checkpoint import Checkpointer, load_checkpoint
+from repro.faults.injector import FaultInjector
+from repro.faults.profiles import FaultProfile
+from repro.faults.retry import RetryPolicy
 from repro.orders.purchase_pair import OrderPolicy, TestOrderer
 from repro.classify.labeling import (
     GroundTruthOracle,
@@ -74,6 +79,13 @@ class StudyRun:
         confidence_threshold: float = 0.5,
         classify: bool = True,
         n_jobs: int = 1,
+        fault_profile: Optional[FaultProfile] = None,
+        fault_seed: int = 0,
+        retry_policy: Optional[RetryPolicy] = None,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every_days: int = 1,
+        resume: bool = False,
+        die_after_day: Optional[int] = None,
     ):
         self.config = config
         self.crawl_policy = crawl_policy or CrawlPolicy(stride_days=2)
@@ -87,6 +99,20 @@ class StudyRun:
         #: identical for any value (the per-class fits are independent and
         #: deterministic) — see ``tests/test_serp_determinism.py``.
         self.n_jobs = n_jobs
+        #: Chaos knobs: a fault profile makes the measurement crawl run
+        #: against injected failures (ground truth is never perturbed).
+        self.fault_profile = fault_profile
+        self.fault_seed = fault_seed
+        self.retry_policy = retry_policy
+        #: Crash-safety knobs: with a checkpoint path the run persists
+        #: per-sim-day state; ``resume=True`` continues from it.
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every_days = checkpoint_every_days
+        self.resume = resume
+        self.die_after_day = die_after_day
+        #: Set by :meth:`execute`: the day index the run resumed from
+        #: (None when it started fresh).
+        self.resumed_from_day: Optional[int] = None
 
     def execute(self) -> StudyResults:
         # Raised GC thresholds for the duration of the run: with the
@@ -98,14 +124,23 @@ class StudyRun:
                 return self._execute()
 
     def _execute(self) -> StudyResults:
-        simulator = Simulator(self.config)
-        world = simulator.build()
-        crawler = SearchCrawler(world.web, self.crawl_policy)
-        orderer = TestOrderer(world.web, crawler, self.order_policy)
-        # The metrics recorder observes last, after the crawler and orderer
-        # have produced the day's records it samples.
-        recorder = MetricsRecorder(crawler)
-        simulator.run(observers=[crawler, orderer, recorder])
+        simulator, observers, start_index = self._simulation_state()
+        crawler, orderer, recorder = observers
+        checkpointer = None
+        if self.checkpoint_path is not None:
+            checkpointer = Checkpointer(
+                self.checkpoint_path, self.config,
+                every_days=self.checkpoint_every_days,
+                die_after_day=self.die_after_day,
+            )
+        world = simulator.run(
+            observers=observers, start_index=start_index,
+            checkpointer=checkpointer,
+        )
+        if checkpointer is not None:
+            # The run completed: a stale checkpoint would otherwise make a
+            # later --resume replay the tail of this finished window.
+            checkpointer.clear()
 
         oracle = GroundTruthOracle(world)
         classifier: Optional[CampaignClassifier] = None
@@ -135,6 +170,39 @@ class StudyRun:
             labeled_pages=labeled,
             metrics=recorder,
         )
+
+    def _simulation_state(self) -> Tuple[Simulator, List[object], int]:
+        """Build (or reload) the simulator and its observers.
+
+        Resuming unpickles the whole object graph from the checkpoint —
+        simulator, crawler, orderer, and recorder share live references
+        (``crawler.web is simulator.world.web``), so they come back as one
+        payload rather than being reconstructed piecemeal.
+        """
+        if (
+            self.resume
+            and self.checkpoint_path is not None
+            and os.path.exists(self.checkpoint_path)
+        ):
+            simulator, observers, start_index, _manifest = load_checkpoint(
+                self.checkpoint_path, self.config
+            )
+            self.resumed_from_day = start_index
+            return simulator, list(observers), start_index
+        simulator = Simulator(self.config)
+        world = simulator.build()
+        if self.fault_profile is not None and self.fault_profile.active():
+            world.web.fault_injector = FaultInjector(
+                self.fault_profile, seed=self.fault_seed
+            )
+        crawler = SearchCrawler(
+            world.web, self.crawl_policy, retry_policy=self.retry_policy
+        )
+        orderer = TestOrderer(world.web, crawler, self.order_policy)
+        # The metrics recorder observes last, after the crawler and orderer
+        # have produced the day's records it samples.
+        recorder = MetricsRecorder(crawler)
+        return simulator, [crawler, orderer, recorder], 0
 
     def _classify(self, crawler, oracle):
         """Seed-label, refine, and attribute; returns (labeled, classifier,

@@ -1,0 +1,53 @@
+"""Crash-safe artifact writes: write-temp-then-atomic-rename.
+
+Every artifact the pipeline emits (``psrs.jsonl``, ``metrics.jsonl``,
+``trace.json``, ``BENCH_*.json``, checkpoints) goes through
+:func:`atomic_write`: content lands in a temporary file in the *same
+directory* (same filesystem, so the rename is atomic), is flushed and
+fsynced, and only then replaces the destination via :func:`os.replace`.
+A process killed mid-write leaves either the previous complete file or
+no file — never a torn artifact.
+
+    with atomic_write(path) as handle:
+        handle.write(...)
+
+On any exception inside the block the temporary file is removed and the
+destination is left untouched.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from contextlib import contextmanager
+from typing import IO, Iterator
+
+
+@contextmanager
+def atomic_write(path: str, mode: str = "w", encoding: str = "utf-8") -> Iterator[IO]:
+    """Open a temp file next to ``path``; atomically rename on success.
+
+    ``mode`` must be a write mode (``"w"`` or ``"wb"``); text mode uses
+    ``encoding`` (binary mode ignores it).
+    """
+    if "w" not in mode:
+        raise ValueError(f"atomic_write needs a write mode, got {mode!r}")
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    binary = "b" in mode
+    handle = os.fdopen(fd, mode, encoding=None if binary else encoding)
+    try:
+        yield handle
+        handle.flush()
+        os.fsync(handle.fileno())
+        handle.close()
+        os.replace(tmp_path, path)
+    except BaseException:
+        handle.close()
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise

@@ -162,7 +162,9 @@ class PerfRegistry:
         payload = {"perf": self.report()}
         if extra:
             payload.update(extra)
-        with open(path, "w") as handle:
+        from repro.util.atomicio import atomic_write
+
+        with atomic_write(path) as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
 
 

@@ -21,6 +21,13 @@ BROWSER_USER_AGENT = "Mozilla/5.0 (Windows NT 6.1; WOW64) AppleWebKit/537.36"
 #: Known crawler IP prefixes some SEO kits match against (footnote 1).
 CRAWLER_IP_PREFIXES = ("66.249.", "157.55.")
 
+#: Synthetic statuses for fetch attempts that failed before a response
+#: arrived (injected timeouts, refused connections, open breakers).  Real
+#: HTTP never produces them, so consumers can tell them apart from the
+#: simulated web's organic 404/502s.
+STATUS_TIMEOUT = 598
+STATUS_UNREACHABLE = 599
+
 
 @dataclass(frozen=True)
 class VisitorProfile:
@@ -71,6 +78,11 @@ class Response:
     headers: Dict[str, str] = field(default_factory=dict)
     #: Every URL traversed, in order, including the first and last.
     redirect_chain: List[str] = field(default_factory=list)
+    #: Injected-fault tag (see :mod:`repro.faults.injector`), or None.
+    #: Set alongside a failure status for lost fetches, or alongside 200
+    #: for delivered-but-damaged bodies (truncated/garbled).  Always None
+    #: on organic responses, so fault handling never alters clean runs.
+    fault: Optional[str] = None
 
     @property
     def ok(self) -> bool:

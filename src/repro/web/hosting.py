@@ -37,6 +37,13 @@ class Web:
         #: Builds the notice page served for a seized domain; installed by
         #: the seizure intervention machinery.
         self.seizure_notice_builder: Optional[Callable[[str, SimDate], PageResult]] = None
+        #: Optional :class:`repro.faults.injector.FaultInjector` attached by
+        #: the study runner.  :meth:`fetch` itself never consults it — the
+        #: simulation's own consumers (indexer, users) must see ground
+        #: truth; only :class:`repro.faults.retry.ResilientFetcher` (the
+        #: measurement path) reads it.  It lives here so a checkpointed
+        #: world carries its fault configuration across resume.
+        self.fault_injector = None
 
     def add_site(self, site: Site) -> Site:
         if site.host in self._sites:

@@ -1,0 +1,46 @@
+"""D009 fixture: retry discipline (positive/negative/suppressed)."""
+
+import time
+
+
+def bad_unbounded(fetch, url):
+    while True:  # finding: no attempt bound
+        try:
+            return fetch(url)
+        except IOError:
+            continue
+
+
+def bad_wall_clock_backoff(fetch, url, backoff_s):
+    for attempt in range(3):
+        try:
+            return fetch(url)
+        except IOError:
+            time.sleep(backoff_s * 2 ** attempt)  # finding: host stalls
+    return None
+
+
+def ok_bounded_simulated(fetch, url, policy, clock):
+    for attempt in range(policy.max_attempts):
+        try:
+            return fetch(url)
+        except IOError:
+            clock.advance_s(min(policy.cap_s, policy.base_s * 2 ** attempt))
+    return None
+
+
+def ok_event_loop(queue, handle):
+    while True:  # no finding: not a retry loop (no exception handler)
+        item = queue.get()
+        if item is None:
+            break
+        handle(item)
+
+
+def waived_interactive_poll(fetch, url):
+    # repro: allow-D009 fixture: operator-facing poll, bounded by ctrl-C
+    while True:
+        try:
+            return fetch(url)
+        except IOError:
+            continue
