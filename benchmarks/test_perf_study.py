@@ -16,7 +16,11 @@ Default configuration is the paper preset at the benchmark scale
 ``benchmarks/conftest.py``).  The CI smoke sets
 ``REPRO_BENCH_STUDY_PRESET=small`` to keep the job short; other knobs:
 ``REPRO_BENCH_SCALE``, ``REPRO_BENCH_TERMS``, ``REPRO_BENCH_STUDY_DAYS``
-(small preset window), ``REPRO_BENCH_JOBS``.
+(small preset window), ``REPRO_BENCH_JOBS``, ``REPRO_BENCH_CRAWL_JOBS``
+(crawl shard processes — artifacts are byte-identical at any value, so
+both legs run sharded and the cached-vs-uncached equality check doubles
+as a shard-merge check; per-shard wall times, steal counts, and cpus land
+in the ``shard`` block of the JSON).
 
 A classification-only pass also measures the classifier-fit speedup from
 ``n_jobs`` threads; coefficients are identical either way
@@ -47,6 +51,7 @@ SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
 TERMS_PER_VERTICAL = int(os.environ.get("REPRO_BENCH_TERMS", "8"))
 DAYS = int(os.environ.get("REPRO_BENCH_STUDY_DAYS", "70"))
 FIT_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "4"))
+CRAWL_JOBS = int(os.environ.get("REPRO_BENCH_CRAWL_JOBS", "1"))
 AT_DEFAULT = not any(
     name in os.environ
     for name in ("REPRO_BENCH_STUDY_PRESET", "REPRO_BENCH_SCALE",
@@ -58,9 +63,11 @@ def _study_run():
     if PRESET == "paper":
         config = paper_preset(scale=SCALE, terms_per_vertical=TERMS_PER_VERTICAL)
         return StudyRun(config, crawl_policy=CrawlPolicy(stride_days=3),
-                        seed_label_count=491, refinement_rounds=1)
+                        seed_label_count=491, refinement_rounds=1,
+                        jobs=CRAWL_JOBS)
     return StudyRun(small_preset(days=DAYS),
-                    crawl_policy=CrawlPolicy(stride_days=2))
+                    crawl_policy=CrawlPolicy(stride_days=2),
+                    jobs=CRAWL_JOBS)
 
 
 def _timed_leg():
@@ -106,9 +113,18 @@ def test_study_end_to_end_perf(tmp_path):
             CampaignClassifier(n_jobs=jobs).fit(results.labeled_pages)
             fit_timing[f"fit_s_jobs{jobs}"] = time.perf_counter() - t0
 
+    shard = results.shard_stats
+    assert shard is not None, "study run recorded no shard stats"
+    for field in ("jobs", "cpus", "mode", "crawl_days", "tasks", "steals",
+                  "fallback_days", "per_shard_busy_s", "crawl_wall_s"):
+        assert field in shard, f"shard stats missing {field}"
+    assert shard["jobs"] == CRAWL_JOBS
+
     payload = {
         "preset": PRESET,
         "cpus": os.cpu_count(),
+        "crawl_jobs": CRAWL_JOBS,
+        "shard": shard,
         "scale": SCALE if PRESET == "paper" else None,
         "terms_per_vertical": TERMS_PER_VERTICAL if PRESET == "paper" else None,
         "days": DAYS if PRESET == "small" else None,
@@ -127,6 +143,9 @@ def test_study_end_to_end_perf(tmp_path):
         ("total (uncached)", "-", f"{total_s_uncached:.2f}s"),
         ("total (cached)", "-", f"{total_s_cached:.2f}s"),
         ("cache speedup", ">=1.5x target", f"{speedup:.2f}x"),
+        (f"crawl shards (jobs={CRAWL_JOBS}, {shard['mode']})", "-",
+         f"{shard['crawl_wall_s']:.2f}s wall, {shard['tasks']} tasks, "
+         f"{shard['steals']} steals"),
     ]
     for name in ("simulator.day", "engine.serp", "web.fetch", "classifier.fit"):
         stats = breakdown.get(name)

@@ -72,7 +72,8 @@ def _add_study_args(parser: argparse.ArgumentParser) -> None:
                         help="crawl stride, days")
     parser.add_argument("--seed", type=int, default=None, help="scenario seed")
     parser.add_argument("--jobs", type=int, default=1,
-                        help="threads for classifier fits (same results any value)")
+                        help="crawl shard processes + classifier fit threads "
+                             "(byte-identical artifacts, any value)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the content-addressed caches "
                              "(bit-identical, slower)")
@@ -203,6 +204,7 @@ def command_run(args) -> int:
     study = StudyRun(
         config, crawl_policy=CrawlPolicy(stride_days=args.stride),
         n_jobs=args.jobs,
+        jobs=args.jobs,
         fault_profile=profile_named(args.profile) if args.profile else None,
         fault_seed=args.fault_seed,
         checkpoint_path=args.checkpoint,
@@ -361,6 +363,7 @@ def command_perf(args) -> int:
     StudyRun(
         config, crawl_policy=CrawlPolicy(stride_days=args.stride),
         n_jobs=args.jobs,
+        jobs=args.jobs,
     ).execute()
     print(PERF.format_table(top=args.top))
     if args.json:
@@ -381,6 +384,7 @@ def command_trace(args) -> int:
     results = StudyRun(
         config, crawl_policy=CrawlPolicy(stride_days=args.stride),
         n_jobs=args.jobs,
+        jobs=args.jobs,
     ).execute()
     wall_s = perf_counter() - start
     manifest = run_manifest(config)
@@ -419,6 +423,7 @@ def command_chaos(args) -> int:
             _config_for(args),
             crawl_policy=CrawlPolicy(stride_days=args.stride),
             n_jobs=args.jobs,
+            jobs=args.jobs,
             fault_profile=fault_profile,
             fault_seed=args.fault_seed,
         ).execute()

@@ -182,44 +182,81 @@ class Simulator:
         """
         self.build()
         world = self.world
-        vertical_of_term: Dict[str, str] = {}
-        for name, vertical in world.verticals.items():
-            for term in vertical.terms:
-                vertical_of_term[term] = name
+        vertical_of_term = self.vertical_of_term_map()
         day_timer = PERF.handle("simulator.day")
         with TRACER.span("simulate", days=len(world.window) - start_index):
             for day_index, day in enumerate(world.window):
                 if day_index < start_index:
                     continue
                 day_start = perf_counter()
-                world.today = day
                 with TRACER.span("day", sim_day=day.isoformat()):
-                    with TRACER.span("campaigns"):
-                        for campaign in self.campaigns:
-                            campaign.on_day(world, day)
-                    assert self.search_team is not None
-                    with TRACER.span("interventions"):
-                        self.search_team.on_day(world, day)
-                        for firm in self.firms:
-                            firm.on_day(world, day)
-                        if self.payment_team is not None:
-                            self.payment_team.on_day(world, day)
-                    with TRACER.span("serps"):
-                        serps = {
-                            term: world.engine.serp(term, day)
-                            for term in vertical_of_term
-                        }
-                    with TRACER.span("traffic"):
-                        self._traffic_pass(day, serps)
-                    context = DayContext(
-                        day=day, serps=serps, vertical_of_term=vertical_of_term
-                    )
+                    context = self.step_day(day, vertical_of_term)
                     for observer in observers:
                         observer.on_day(world, context)
                 day_timer.add(perf_counter() - day_start)
                 if checkpointer is not None:
                     checkpointer.on_day_complete(self, observers, day_index, day)
         return world
+
+    def vertical_of_term_map(self) -> Dict[str, str]:
+        """term -> vertical name, for every monitored term."""
+        vertical_of_term: Dict[str, str] = {}
+        for name, vertical in self.world.verticals.items():
+            for term in vertical.terms:
+                vertical_of_term[term] = name
+        return vertical_of_term
+
+    def step_day(
+        self, day: SimDate, vertical_of_term: Optional[Dict[str, str]] = None
+    ) -> DayContext:
+        """Advance the world through one simulated day — campaigns,
+        interventions, SERP serving, and the traffic pass — and return the
+        :class:`DayContext` observers would receive.
+
+        This is everything :meth:`run` does per day *except* notifying
+        observers and checkpointing.  Crawl-shard worker processes
+        (:mod:`repro.perf.shardpool`) call it directly to keep their
+        forked replica worlds in lockstep with the parent simulator; every
+        draw comes from this simulator's own named streams, so stepping a
+        replica produces bit-identical world state to the parent.
+        """
+        world = self.world
+        world.today = day
+        if vertical_of_term is None:
+            vertical_of_term = self.vertical_of_term_map()
+        with TRACER.span("campaigns"):
+            self._campaign_pass(world, day)
+        assert self.search_team is not None
+        with TRACER.span("interventions"):
+            self.search_team.on_day(world, day)
+            for firm in self.firms:
+                firm.on_day(world, day)
+            if self.payment_team is not None:
+                self.payment_team.on_day(world, day)
+        with TRACER.span("serps"):
+            serps = {
+                term: world.engine.serp(term, day)
+                for term in vertical_of_term
+            }
+        with TRACER.span("traffic"):
+            self._traffic_pass(day, serps)
+        return DayContext(day=day, serps=serps, vertical_of_term=vertical_of_term)
+
+    def _campaign_pass(self, world, day: SimDate) -> None:
+        """Run every campaign's day, skipping provable no-ops.
+
+        Most campaigns most days have no due doorways, no seized stores,
+        and no pending rotations; :meth:`Campaign.day_has_work` detects
+        that exactly (a skipped campaign would have drawn no randomness
+        and mutated no state), so the pass only pays for campaigns with
+        actual work.  Campaign order is preserved for the ones that run —
+        shared-world mutations (domain registration, compromise-target
+        assignment) stay in the sequential order.
+        """
+        blacklist_active = bool(world.payment_network.blacklisted())
+        for campaign in self.campaigns:
+            if campaign.day_has_work(world, day, blacklist_active):
+                campaign.on_day(world, day)
 
     # ------------------------------------------------------------------ #
     # Traffic: PSR visibility -> visits -> orders -> shipments

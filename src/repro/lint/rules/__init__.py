@@ -13,6 +13,8 @@ exposed to (thread-pool fits, seeded-stream discipline):
 * :mod:`repro.lint.rules.errors` — D008 swallowed exceptions
 * :mod:`repro.lint.rules.retry` — D009 retry discipline (unbounded loops,
   wall-clock backoff)
+* :mod:`repro.lint.rules.poolloop` — D010 process pools constructed per
+  loop iteration instead of once per run
 """
 
 from repro.lint.rules import (  # noqa: F401
@@ -21,6 +23,7 @@ from repro.lint.rules import (  # noqa: F401
     errors,
     identity,
     ordering,
+    poolloop,
     retry,
     rng,
     wallclock,

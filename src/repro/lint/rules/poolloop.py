@@ -1,0 +1,60 @@
+"""D010 — process-pool construction inside a loop.
+
+The crawl shard pool exists precisely because pool startup is expensive:
+a forked worker inherits (or a spawned one rebuilds) a whole world
+replica, so constructing a pool *per day* pays that cost hundreds of
+times over and erases the parallel speedup.  The sanctioned pattern is
+one persistent pool per run, created lazily and reused
+(:class:`repro.perf.shardpool.CrawlExecutor`, ``_pool_context()`` in
+``analysis/ablations.py``).
+
+The check is lexical: a ``multiprocessing.Pool`` / ``Pool`` /
+``ThreadPool`` / ``*PoolExecutor`` construction whose nearest enclosing
+statement chain reaches a ``for``/``while`` before leaving the current
+function is flagged.  Pools built in helper functions that a loop calls
+are out of scope (that is a profiling question, not a lexical one).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.core import Finding, LintContext, Rule, dotted_name
+from repro.lint.registry import register
+
+#: Final attribute names that construct a worker pool.
+_POOL_NAMES = frozenset({"Pool", "ThreadPool"})
+_POOL_SUFFIX = "PoolExecutor"
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+_LOOP_NODES = (ast.For, ast.AsyncFor, ast.While)
+
+
+@register
+class PoolInLoopRule(Rule):
+    """D010: a process pool constructed inside a per-day (or any) loop."""
+
+    code = "D010"
+    name = "pool-in-loop"
+    hint = ("create one persistent pool per run and reuse it across days "
+            "(see repro.perf.shardpool.CrawlExecutor)")
+    node_types = (ast.Call,)
+
+    def visit_node(self, node: ast.AST, ctx: LintContext) -> Iterable[Finding]:
+        name = dotted_name(node.func)
+        if name is None:
+            return
+        last = name.rpartition(".")[2]
+        if last not in _POOL_NAMES and not last.endswith(_POOL_SUFFIX):
+            return
+        parent = getattr(node, "parent", None)
+        while parent is not None and not isinstance(parent, _SCOPE_NODES):
+            if isinstance(parent, _LOOP_NODES):
+                yield self.finding(ctx, node, (
+                    f"worker pool {last}(...) constructed inside a loop — "
+                    "pool startup (fork/spawn of world replicas) is paid "
+                    "every iteration"
+                ))
+                return
+            parent = getattr(parent, "parent", None)

@@ -1,0 +1,869 @@
+"""Sharded measurement crawl over a persistent work-stealing process pool.
+
+The span trace shows the daily crawl (Dagger fetch + VanGogh render +
+store detection + landing resolution) is the majority of ``simulator.day``
+— and the paper's own infrastructure ran Dagger/VanGogh as concurrent
+crawl fleets, so fanning the per-day check list over processes is faithful
+to the system being reproduced, not just an optimisation.
+
+Design constraints, in order of importance:
+
+1. **Byte identity.**  ``--jobs N`` must produce byte-identical PSR dumps,
+   golden SERPs, ``metrics.jsonl`` and checkpoint digests to ``--jobs 1``,
+   with and without a fault profile.  Everything below serves this.
+2. **Work stealing.**  Static host partitioning straggles on VanGogh-heavy
+   shards; tasks go through the pool's shared task queue, so an idle
+   worker picks up whatever is next regardless of any static plan.  The
+   executor still computes an LPT ("longest processing time first") home
+   plan from per-host cost estimates purely to *measure* stealing: a task
+   executed by a worker other than its planned home counts as a steal.
+3. **Persistence.**  One pool per :class:`repro.study.StudyRun`, created
+   lazily on the first crawl day and reused until shutdown (lint rule
+   D010 bans per-day pool construction).
+
+How byte identity survives parallelism:
+
+* **Tasks are per-host.**  The crawler's only cross-host state within a
+  day is the SERP-ordered interleaving of its bookkeeping, so each task
+  carries one host's encounters plus a slice of day-start state
+  (known-cloaked URLs, poisoned flag).  Every encounter is tagged with its
+  global SERP sequence number; workers return *operations* (PSR rows,
+  archive adds, clean/cloaked markings, notices) tagged by that number,
+  and the parent applies the merged, seq-sorted stream — which is exactly
+  the order a sequential crawl would have produced.
+* **Workers run lockstep world replicas.**  A forked (or spawn-rebuilt)
+  worker owns a full simulator replica stepped through the same days as
+  the parent.  The simulated web is a pure function of stepped state (the
+  cloaking kits were made stateless for this), so replica fetches are
+  byte-identical to parent fetches.  The parent's only world mutations a
+  replica lacks — checkout order-number allocations from the test orderer
+  — are never read by ``step_day`` or by any crawled page.
+* **Fault decisions replay, order-independently.**  The sha256-keyed
+  injector is a pure function of ``(seed, kind, subject)`` (asserted in
+  ``tests/test_shardpool.py``), so workers consult it quietly and the
+  parent *re-derives* every decision while replaying fetch events in
+  canonical order against the real :class:`ResilientFetcher` state
+  (budget, breaker, jitter stream).  The worker mimic has no breaker and
+  an unlimited budget, so divergence is one-directional: the canonical
+  path can only fail *earlier*.  When it does, the whole crawl day falls
+  back to the sequential path — a decision that is itself a pure function
+  of canonical state, so it fires identically at every jobs level.
+* **Cache counters replay.**  Real cache lookups happen wherever the work
+  ran; counting them there would make ``cache_hit_rate`` schedule-
+  dependent.  Lookups are recorded in per-encounter ledgers
+  (:func:`repro.perf.cache.cache_ledger`) and replayed through shadow
+  LRUs (:class:`repro.perf.cache.CacheReplay`) in canonical order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.trace import Span, TRACER
+from repro.util.perf import PERF
+from repro.util.simtime import SimDate
+from repro.web.fetch import Response, STATUS_UNREACHABLE
+from repro.web.urls import parse_url
+from repro.faults.injector import FAULT_IP_BLOCK, FaultInjector, TRANSIENT_FAULTS
+from repro.faults.retry import RetryPolicy
+from repro.interventions.notices import parse_notice_page
+from repro.perf.cache import cache_ledger
+from repro.crawler.dagger import Dagger
+from repro.crawler.records import PsrRecord
+from repro.crawler.store_detect import StoreDetector
+from repro.crawler.vangogh import VanGogh
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer fork (cheap, inherits the stepped world); spawn elsewhere."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return multiprocessing.get_context("spawn")
+
+
+# --------------------------------------------------------------------- #
+# Wire format: parent -> worker
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class _Encounter:
+    """One SERP result that needs crawling, tagged with its global
+    position in the day's term-major, rank-minor SERP walk."""
+
+    seq: int
+    vertical: str
+    term: str
+    rank: int
+    url: str
+    host: str
+    path: str
+    label: str
+
+
+@dataclass
+class _HostTask:
+    """One host's work for one crawl day, plus the day-start state slice
+    the per-host logic reads."""
+
+    index: int
+    host: str
+    day_ordinal: int
+    encounters: List[_Encounter]
+    #: url -> mechanism for this host's already-known-cloaked URLs.
+    cloaked: Dict[str, str]
+    poisoned: bool
+    trace: bool = False
+
+
+# --------------------------------------------------------------------- #
+# Wire format: worker -> parent
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class _FetchEvent:
+    """One measurement fetch as the worker mimic saw it.
+
+    The parent replay re-derives every injector decision itself (they are
+    pure), so the worker only reports *which attempt returned* (None =
+    all attempts failed transiently) and whether the returned body was an
+    ok, non-empty page (the precondition for the corruption roll)."""
+
+    seq: int
+    url: str
+    user_agent: str
+    returned_attempt: Optional[int]
+    ok_html: bool
+
+
+@dataclass
+class _TaskResult:
+    index: int
+    host: str
+    worker: int = 0
+    wall_s: float = 0.0
+    #: (seq, op, payload) bookkeeping operations, in execution order.
+    ops: List[Tuple[int, str, object]] = field(default_factory=list)
+    #: (seq, cache_name, key) ledger entries, in execution order.
+    ledger: List[Tuple[int, str, object]] = field(default_factory=list)
+    #: Fetch events, in execution order (empty on clean runs).
+    events: List[_FetchEvent] = field(default_factory=list)
+    #: PERF timer deltas accrued by the task (pool mode only; inline tasks
+    #: accrue directly into the parent registry).
+    timer_deltas: Dict[str, Tuple[int, float, float]] = field(default_factory=dict)
+    #: Exported spans (pool mode with tracing on).
+    spans: List[dict] = field(default_factory=list)
+
+
+class _VisitorKey:
+    """Stand-in visitor for injector replay: only ``user_agent`` is keyed."""
+
+    __slots__ = ("user_agent",)
+
+    def __init__(self, user_agent: str):
+        self.user_agent = user_agent
+
+
+# --------------------------------------------------------------------- #
+# The worker-side task mimic
+# --------------------------------------------------------------------- #
+
+
+class _TaskFetcher:
+    """Breaker-free, budget-free fetch mimic for shard workers.
+
+    Asks the (quiet) injector per attempt exactly like
+    :class:`~repro.faults.retry.ResilientFetcher` would, but never
+    consults the per-day budget or the per-host breaker — those live in
+    the parent and are applied during canonical replay.  Because the
+    mimic retries a superset of what the canonical fetcher would, the
+    canonical outcome can only fail earlier, never differently."""
+
+    def __init__(self, web, injector, policy: Optional[RetryPolicy]):
+        self.web = web
+        self.injector = injector
+        self.policy = policy or RetryPolicy()
+        self.events: List[_FetchEvent] = []
+        self.seq = 0
+
+    def __call__(self, url: str, profile, day) -> Response:
+        injector = self.injector
+        if injector is None:
+            return self.web.fetch(url, profile, day)
+        day = SimDate(day)
+        response: Optional[Response] = None
+        returned: Optional[int] = None
+        ok_html = False
+        for attempt in range(max(1, self.policy.max_attempts)):
+            kind = injector.fetch_fault(url, profile, day, attempt)
+            if kind is not None:
+                response = Response(status=STATUS_UNREACHABLE, url=url,
+                                    final_url=url, fault=kind)
+            else:
+                response = self.web.fetch(url, profile, day)
+                if response.ok and response.html:
+                    ok_html = True
+                    html, kind = injector.corrupt_html(response.html, url, day)
+                    if kind is not None:
+                        response.html = html
+                        response.fault = kind
+            if response.fault not in TRANSIENT_FAULTS:
+                returned = attempt
+                break
+            if response.fault == FAULT_IP_BLOCK:
+                break
+            if attempt + 1 >= self.policy.max_attempts:
+                break
+        assert response is not None
+        self.events.append(_FetchEvent(self.seq, url, profile.user_agent,
+                                       returned, ok_html))
+        return response
+
+
+def _execute_task(web, injector, task: _HostTask, retry_policy, crawl_policy) -> _TaskResult:
+    """Run one host's crawl-day logic against ``web``.
+
+    A line-for-line mirror of ``SearchCrawler._process_result`` and its
+    helpers, except that every state mutation becomes a seq-tagged op for
+    the parent to apply in canonical order, and all fetches go through the
+    event-recording :class:`_TaskFetcher`."""
+    fetcher = _TaskFetcher(web, injector, retry_policy)
+    dagger = Dagger(web, fetch=fetcher)
+    vangogh = VanGogh(web, fetch=fetcher)
+    detector = StoreDetector()
+    day = SimDate(task.day_ordinal)
+    recheck = crawl_policy.recheck_clean_after_days
+    max_renders = crawl_policy.max_renders_per_host_per_day
+
+    result = _TaskResult(index=task.index, host=task.host)
+    ops = result.ops
+    cloaked = dict(task.cloaked)
+    poisoned = task.poisoned
+    local_clean_urls: set = set()
+    local_clean_host = False
+    renders = 0
+    landing_done = False
+    landing: Optional[dict] = None
+
+    for enc in task.encounters:
+        fetcher.seq = enc.seq
+        entries: List[Tuple[str, object]] = []
+        with cache_ledger(entries):
+            url = enc.url
+            mechanism = cloaked.get(url)
+            if mechanism is None:
+                # _skip_clean_url / _skip_clean_host against marks made
+                # earlier *today* (day-start marks were pre-filtered in
+                # the parent).  A same-day mark only expires when the
+                # recheck window is <= 0 days, mirroring `day - day >= 0`.
+                if url in local_clean_urls:
+                    if recheck is not None and recheck <= 0:
+                        local_clean_urls.discard(url)
+                        ops.append((enc.seq, "unclean_url", url))
+                    else:
+                        continue
+                if local_clean_host:
+                    if recheck is not None and recheck <= 0:
+                        local_clean_host = False
+                        ops.append((enc.seq, "unclean_host", task.host))
+                    else:
+                        continue
+                dagger_result = dagger.check(url, day)
+                if dagger_result.cloaked:
+                    mechanism = dagger_result.mechanism or "content"
+                    cloaked[url] = mechanism
+                    poisoned = True
+                    local_clean_host = False
+                    ops.append((enc.seq, "cloak", (url, task.host, mechanism)))
+                    ops.append((enc.seq, "doorway",
+                                (task.host, dagger_result.crawler_response.html)))
+                elif dagger_result.degraded:
+                    ops.append((enc.seq, "degraded", "classify"))
+                    continue
+                else:
+                    if renders >= max_renders:
+                        continue
+                    renders += 1
+                    vg = vangogh.check(url, day)
+                    if vg.iframe_cloaked:
+                        mechanism = "iframe"
+                        cloaked[url] = mechanism
+                        poisoned = True
+                        local_clean_host = False
+                        ops.append((enc.seq, "cloak", (url, task.host, "iframe")))
+                        ops.append((enc.seq, "doorway",
+                                    (task.host, dagger_result.crawler_response.html)))
+                    elif vg.fault is not None:
+                        ops.append((enc.seq, "degraded", "classify"))
+                        continue
+                    else:
+                        local_clean_urls.add(url)
+                        ops.append((enc.seq, "clean_url", url))
+                        if not poisoned:
+                            local_clean_host = True
+                            ops.append((enc.seq, "clean_host", task.host))
+                        continue
+            if not landing_done:
+                landing_done = True
+                landing = _resolve_landing(dagger, vangogh, detector, url,
+                                           mechanism, day, enc.seq, ops)
+            if landing is None:
+                continue
+            ops.append((enc.seq, "psr", {
+                "vertical": enc.vertical,
+                "term": enc.term,
+                "rank": enc.rank,
+                "url": url,
+                "host": enc.host,
+                "path": enc.path,
+                "label": enc.label,
+                "mechanism": mechanism,
+                **landing,
+            }))
+        result.ledger.extend((enc.seq, name, key) for name, key in entries)
+    result.events = fetcher.events
+    return result
+
+
+def _resolve_landing(dagger, vangogh, detector, url, mechanism, day, seq, ops) -> Optional[dict]:
+    """Mirror of ``SearchCrawler._landing_for`` / ``_fetch_landing`` for
+    one host's once-per-day landing resolution."""
+    if mechanism in ("redirect", "content"):
+        response = dagger.check(url, day).user_response
+    else:
+        response = vangogh.check(url, day).landing_response
+    if response is not None and response.fault is not None and not response.ok:
+        ops.append((seq, "degraded", "landing"))
+    if response is None or not response.ok:
+        return None
+    landing_host = parse_url(response.final_url).host
+    notice = parse_notice_page(response.html)
+    if notice is not None:
+        ops.append((seq, "notice", notice))
+    evidence = detector.detect(response)
+    if evidence.is_store:
+        ops.append((seq, "store", (landing_host, response.html)))
+    return {
+        "landing_url": response.final_url,
+        "landing_host": landing_host,
+        "is_store": evidence.is_store,
+        "seizure_case": notice.case_id if notice else None,
+        "seizure_firm": notice.firm if notice else None,
+        "seizure_brand": notice.brand if notice else None,
+    }
+
+
+# --------------------------------------------------------------------- #
+# Worker process lifecycle
+# --------------------------------------------------------------------- #
+
+
+class _WorkerState:
+    __slots__ = ("simulator", "web", "injector", "retry_policy",
+                 "crawl_policy", "vertical_map", "replica_ordinal",
+                 "worker_id")
+
+    def __init__(self, simulator, retry_policy, crawl_policy, replica_ordinal, worker_id):
+        self.simulator = simulator
+        self.web = simulator.world.web
+        self.injector = getattr(self.web, "fault_injector", None)
+        self.retry_policy = retry_policy
+        self.crawl_policy = crawl_policy
+        self.vertical_map = simulator.vertical_of_term_map()
+        self.replica_ordinal = replica_ordinal
+        self.worker_id = worker_id
+
+
+_WORKER: Optional[_WorkerState] = None
+
+
+def _worker_init(mode, payload, counter, retry_policy, crawl_policy) -> None:
+    """Pool initializer: build (fork: adopt) this worker's world replica."""
+    global _WORKER
+    with counter.get_lock():
+        worker_id = counter.value
+        counter.value += 1
+    TRACER.set_enabled(False)
+    TRACER.reset()
+    if mode == "fork":
+        simulator, replica_ordinal = payload
+    else:
+        # Spawn: rebuild the simulator from config and fast-forward.  The
+        # replica runs full step_day passes (traffic included) so its RNG
+        # streams and world state match the parent's exactly.
+        from repro.ecosystem.simulator import Simulator
+
+        config, injector_state, replica_ordinal = payload
+        simulator = Simulator(config)
+        simulator.build()
+        if injector_state is not None:
+            profile, seed = injector_state
+            simulator.world.web.fault_injector = FaultInjector(profile, seed=seed)
+        vertical_map = simulator.vertical_of_term_map()
+        for day in simulator.world.window:
+            if day.ordinal > replica_ordinal:
+                break
+            simulator.step_day(day, vertical_map)
+    state = _WorkerState(simulator, retry_policy, crawl_policy,
+                         replica_ordinal, worker_id)
+    if state.injector is not None:
+        state.injector.quiet = True
+    _WORKER = state
+
+
+def _advance_replica(state: _WorkerState, target_ordinal: int) -> None:
+    """Step the replica through every sim day up to ``target_ordinal``.
+
+    Idempotent, so it serves both as the overlap hint the parent enqueues
+    after each crawl day and as the catch-up at the start of every task."""
+    while state.replica_ordinal < target_ordinal:
+        state.replica_ordinal += 1
+        state.simulator.step_day(SimDate(state.replica_ordinal),
+                                 state.vertical_map)
+
+
+def _advance_task(target_ordinal: int) -> None:
+    assert _WORKER is not None
+    _advance_replica(_WORKER, target_ordinal)
+
+
+def _run_task(task: _HostTask) -> _TaskResult:
+    state = _WORKER
+    assert state is not None
+    _advance_replica(state, task.day_ordinal)
+    wall0 = perf_counter()
+    timer_base = {name: (stat.calls, stat.total, stat.max)
+                  for name, stat in PERF.timers().items()}
+    if task.trace:
+        TRACER.set_enabled(True)
+        TRACER.reset()
+        with TRACER.span("crawl.host", host=task.host):
+            result = _execute_task(state.web, state.injector, task,
+                                   state.retry_policy, state.crawl_policy)
+        result.spans = TRACER.export()
+        TRACER.set_enabled(False)
+    else:
+        result = _execute_task(state.web, state.injector, task,
+                               state.retry_policy, state.crawl_policy)
+    deltas: Dict[str, Tuple[int, float, float]] = {}
+    for name, stat in PERF.timers().items():
+        calls0, total0, _max0 = timer_base.get(name, (0, 0.0, 0.0))
+        if stat.calls != calls0:
+            deltas[name] = (stat.calls - calls0, stat.total - total0, stat.max)
+    result.timer_deltas = deltas
+    result.worker = state.worker_id
+    result.wall_s = perf_counter() - wall0
+    return result
+
+
+# --------------------------------------------------------------------- #
+# Canonical replay (parent side)
+# --------------------------------------------------------------------- #
+
+
+def _fetcher_snapshot(fetcher):
+    return (dict(fetcher._failures), dict(fetcher._breaker_open_until),
+            fetcher._day_ordinal, fetcher._retries_today,
+            fetcher.simulated_backoff_s, fetcher._rng.getstate())
+
+
+def _fetcher_restore(fetcher, snapshot) -> None:
+    (fetcher._failures, fetcher._breaker_open_until, fetcher._day_ordinal,
+     fetcher._retries_today, fetcher.simulated_backoff_s, rng_state) = (
+        dict(snapshot[0]), dict(snapshot[1]), snapshot[2], snapshot[3],
+        snapshot[4], snapshot[5])
+    fetcher._rng.setstate(rng_state)
+
+
+def _bump(counts: Dict[str, int], name: str, n: int = 1) -> None:
+    counts[name] = counts.get(name, 0) + n
+
+
+def _replay_fetch_events(fetcher, injector, events, day, counts) -> bool:
+    """Re-run the canonical :class:`ResilientFetcher` control flow over the
+    recorded fetch sequence, mutating the real fetcher state and buffering
+    the counters it would have emitted.  Returns False on divergence —
+    i.e. the canonical budget/breaker cut off a fetch the worker mimic
+    delivered (the only direction divergence can go)."""
+    policy = fetcher.policy
+    if day.ordinal != fetcher._day_ordinal:
+        fetcher._day_ordinal = day.ordinal
+        fetcher._retries_today = 0
+    for event in events:
+        host = parse_url(event.url).host
+        if fetcher._breaker_refuses(host, day):
+            _bump(counts, "faults.breaker.short_circuit")
+            if event.returned_attempt is not None:
+                return False
+            continue
+        visitor = _VisitorKey(event.user_agent)
+        returned: Optional[int] = None
+        for attempt in range(max(1, policy.max_attempts)):
+            kind = injector.fetch_fault(event.url, visitor, day, attempt)
+            if kind is None:
+                if event.ok_html:
+                    corrupt = injector.corrupt_kind(event.url, day)
+                    if corrupt is not None:
+                        _bump(counts, f"faults.injected.{corrupt}")
+                returned = attempt
+                fetcher._failures.pop(host, None)
+                break
+            _bump(counts, f"faults.injected.{kind}")
+            if kind == FAULT_IP_BLOCK:
+                break
+            if attempt + 1 >= policy.max_attempts:
+                break
+            if fetcher._retries_today >= policy.per_day_retry_budget:
+                _bump(counts, "faults.retry.budget_exhausted")
+                break
+            fetcher._retries_today += 1
+            _bump(counts, "faults.retried")
+            backoff = min(policy.backoff_cap_s,
+                          policy.base_backoff_s * (2.0 ** attempt))
+            fetcher.simulated_backoff_s += backoff * (
+                1.0 + policy.jitter * fetcher._rng.random()
+            )
+        if returned is None:
+            failures = fetcher._failures.get(host, 0) + 1
+            fetcher._failures[host] = failures
+            if failures >= policy.breaker_threshold:
+                fetcher._breaker_open_until[host] = (
+                    day.ordinal + policy.breaker_cooldown_days
+                )
+                fetcher._failures.pop(host, None)
+                _bump(counts, "faults.breaker.opened")
+            _bump(counts, "faults.gave_up")
+        if returned != event.returned_attempt:
+            return False
+    return True
+
+
+# --------------------------------------------------------------------- #
+# The executor
+# --------------------------------------------------------------------- #
+
+
+class CrawlExecutor:
+    """Persistent crawl shard pool attached to one study run's crawler.
+
+    ``jobs <= 1`` runs every task inline (same code path, no pool) so one
+    executor implementation serves every jobs level — which is also what
+    makes the byte-identity guarantee testable: jobs=1 and jobs=N share
+    the task/merge machinery and differ only in where tasks execute.
+    """
+
+    def __init__(self, simulator, jobs: int = 1,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 crawl_policy=None):
+        self.simulator = simulator
+        self.jobs = max(1, int(jobs))
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.crawl_policy = crawl_policy
+        self._pool = None
+        self._pool_mode = "inline"
+        self._hints: List[object] = []
+        #: host -> EMA of task wall seconds, for the LPT home plan.
+        self._cost_ema: Dict[str, float] = {}
+        #: Per-crawl-day stats rows (see :meth:`stats`).
+        self.day_stats: List[dict] = []
+
+    # ---------------------------------------------------------------- #
+    # Pool lifecycle
+    # ---------------------------------------------------------------- #
+
+    def _ensure_pool(self, day: SimDate) -> None:
+        if self._pool is not None or self.jobs <= 1:
+            return
+        context = _pool_context()
+        self._pool_mode = context.get_start_method()
+        counter = context.Value("i", 0)
+        if self._pool_mode == "fork":
+            payload = (self.simulator, day.ordinal)
+        else:
+            web = self.simulator.world.web
+            injector = getattr(web, "fault_injector", None)
+            injector_state = (
+                (injector.profile, injector.seed) if injector is not None else None
+            )
+            payload = (self.simulator.config, injector_state, day.ordinal)
+        self._pool = context.Pool(
+            processes=self.jobs,
+            initializer=_worker_init,
+            initargs=(self._pool_mode, payload, counter,
+                      self.retry_policy, self.crawl_policy),
+        )
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    # ---------------------------------------------------------------- #
+    # Per-day entry point (called from SearchCrawler.on_day)
+    # ---------------------------------------------------------------- #
+
+    def run_day(self, crawler, day: SimDate, work: List[tuple]) -> None:
+        """Crawl one day's work list and merge results canonically.
+
+        ``work`` is the parent's pre-filtered encounter list:
+        ``(seq, vertical, term, result)`` in SERP order for every result
+        that needs classification or landing resolution."""
+        if not work:
+            return
+        wall0 = perf_counter()
+        tasks = self._build_tasks(crawler, day, work)
+        homes = self._plan_homes(tasks)
+        if self.jobs <= 1:
+            results = [self._run_inline(crawler, task) for task in tasks]
+        else:
+            self._ensure_pool(day)
+            self._drain_hints()
+            order = sorted(tasks, key=lambda t: (-self._estimate(t.host), t.index))
+            pending = [(task.index, self._pool.apply_async(_run_task, (task,)))
+                       for task in order]
+            results = [async_result.get() for _, async_result in pending]
+        results.sort(key=lambda r: r.index)
+        merged = self._merge_day(crawler, day, results)
+        if not merged:
+            PERF.count("shardpool.fallback_days")
+            self._fallback_day(crawler, day, work)
+        steals = sum(1 for r in results if r.worker != homes[r.index])
+        PERF.count("shardpool.tasks", len(tasks))
+        PERF.count("shardpool.steals", steals)
+        for r in results:
+            previous = self._cost_ema.get(r.host)
+            self._cost_ema[r.host] = (
+                r.wall_s if previous is None else 0.5 * previous + 0.5 * r.wall_s
+            )
+        busy = [0.0] * self.jobs
+        for r in results:
+            busy[r.worker % self.jobs] += r.wall_s
+        self.day_stats.append({
+            "day": day.isoformat(),
+            "tasks": len(tasks),
+            "steals": steals,
+            "fallback": not merged,
+            "wall_s": perf_counter() - wall0,
+            "per_worker_busy_s": busy,
+        })
+        self._emit_shard_spans(busy, len(tasks), steals)
+        if self._pool is not None:
+            self._enqueue_advance_hints(crawler, day)
+
+    # ---------------------------------------------------------------- #
+
+    def _build_tasks(self, crawler, day: SimDate, work: List[tuple]) -> List[_HostTask]:
+        by_host: "OrderedDict[str, List[_Encounter]]" = OrderedDict()
+        for seq, vertical, term, result in work:
+            by_host.setdefault(result.host, []).append(_Encounter(
+                seq=seq, vertical=vertical, term=term, rank=result.rank,
+                url=result.url, host=result.host, path=result.path,
+                label=result.label.value,
+            ))
+        trace = TRACER.enabled
+        tasks = []
+        for index, (host, encounters) in enumerate(by_host.items()):
+            cloaked = {}
+            for enc in encounters:
+                mechanism = crawler._cloaked_urls.get(enc.url)
+                if mechanism is not None:
+                    cloaked[enc.url] = mechanism
+            tasks.append(_HostTask(
+                index=index, host=host, day_ordinal=day.ordinal,
+                encounters=encounters, cloaked=cloaked,
+                poisoned=host in crawler._poisoned_hosts, trace=trace,
+            ))
+        return tasks
+
+    def _estimate(self, host: str) -> float:
+        known = self._cost_ema
+        if host in known:
+            return known[host]
+        if known:
+            return sum(known.values()) / len(known)
+        return 1.0
+
+    def _plan_homes(self, tasks: List[_HostTask]) -> Dict[int, int]:
+        """LPT static assignment over cost estimates — the baseline the
+        steal counter measures the dynamic queue against."""
+        loads = [0.0] * self.jobs
+        homes: Dict[int, int] = {}
+        for task in sorted(tasks, key=lambda t: (-self._estimate(t.host), t.index)):
+            worker = min(range(self.jobs), key=lambda w: (loads[w], w))
+            homes[task.index] = worker
+            loads[worker] += self._estimate(task.host)
+        return homes
+
+    def _run_inline(self, crawler, task: _HostTask) -> _TaskResult:
+        injector = getattr(crawler.web, "fault_injector", None)
+        wall0 = perf_counter()
+        if injector is not None:
+            injector.quiet = True
+        try:
+            with TRACER.span("crawl.host", host=task.host):
+                result = _execute_task(crawler.web, injector, task,
+                                       self.retry_policy, crawler.policy)
+        finally:
+            if injector is not None:
+                injector.quiet = False
+        result.worker = 0
+        result.wall_s = perf_counter() - wall0
+        return result
+
+    def _drain_hints(self) -> None:
+        for hint in self._hints:
+            hint.wait()
+        self._hints = []
+
+    def _enqueue_advance_hints(self, crawler, day: SimDate) -> None:
+        """Overlap replica stepping with the parent's next sim days: ask
+        each (idle) worker to advance toward the next crawl day now."""
+        stride = crawler.policy.stride_days
+        target = day + stride
+        window = self.simulator.world.window
+        if target > window.end:
+            return
+        self._hints = [
+            self._pool.apply_async(_advance_task, (target.ordinal,))
+            for _ in range(self.jobs)
+        ]
+
+    # ---------------------------------------------------------------- #
+    # Canonical merge
+    # ---------------------------------------------------------------- #
+
+    def _merge_day(self, crawler, day: SimDate, results: List[_TaskResult]) -> bool:
+        """Apply worker results in canonical (sequential) order; returns
+        False when the fetch replay diverged (state is rolled back and the
+        caller re-runs the day sequentially)."""
+        counts: Dict[str, int] = {}
+        injector = getattr(crawler.web, "fault_injector", None)
+        if injector is not None:
+            events: List[_FetchEvent] = []
+            for result in results:
+                events.extend(result.events)
+            events.sort(key=lambda e: e.seq)  # stable: in-task order kept
+            snapshot = _fetcher_snapshot(crawler.fetcher)
+            was_quiet = injector.quiet
+            injector.quiet = True
+            try:
+                replayed = _replay_fetch_events(crawler.fetcher, injector,
+                                                events, day, counts)
+            finally:
+                injector.quiet = was_quiet
+            if not replayed:
+                _fetcher_restore(crawler.fetcher, snapshot)
+                return False
+        ledger: List[Tuple[int, str, object]] = []
+        for result in results:
+            ledger.extend(result.ledger)
+        ledger.sort(key=lambda entry: entry[0])
+        for name, value in crawler.cache_replay.replay(
+            (name, key) for _seq, name, key in ledger
+        ).items():
+            _bump(counts, name, value)
+        ops: List[Tuple[int, str, object]] = []
+        for result in results:
+            ops.extend(result.ops)
+        ops.sort(key=lambda op: op[0])  # stable: in-task order kept
+        self._apply_ops(crawler, day, ops, counts)
+        for name in sorted(counts):
+            PERF.count(name, counts[name])
+        if self._pool is not None:
+            for result in results:
+                for name, (calls, total, peak) in result.timer_deltas.items():
+                    stat = PERF.handle(name)
+                    stat.calls += calls
+                    stat.total += total
+                    if peak > stat.max:
+                        stat.max = peak
+            if TRACER.enabled:
+                for result in results:
+                    TRACER.adopt(result.spans, track=(result.worker % self.jobs) + 1)
+        return True
+
+    @staticmethod
+    def _apply_ops(crawler, day: SimDate, ops, counts) -> None:
+        for _seq, op, payload in ops:
+            if op == "psr":
+                crawler.dataset.add(PsrRecord(day=day, campaign="", **payload))
+            elif op == "cloak":
+                url, host, mechanism = payload
+                crawler._cloaked_urls[url] = mechanism
+                crawler._poisoned_hosts.add(host)
+                crawler._clean_hosts.pop(host, None)
+            elif op == "clean_url":
+                crawler._clean_urls[payload] = day
+            elif op == "clean_host":
+                crawler._clean_hosts[payload] = day
+            elif op == "unclean_url":
+                crawler._clean_urls.pop(payload, None)
+            elif op == "unclean_host":
+                crawler._clean_hosts.pop(payload, None)
+            elif op == "doorway":
+                crawler.archive.add_doorway(*payload)
+            elif op == "store":
+                crawler.archive.add_store(*payload)
+            elif op == "notice":
+                if payload.case_id not in crawler.notices:
+                    crawler.notices[payload.case_id] = payload
+                    crawler.notice_first_seen[payload.case_id] = day
+            elif op == "degraded":
+                _bump(counts, f"faults.degraded.{payload}")
+
+    def _fallback_day(self, crawler, day: SimDate, work: List[tuple]) -> None:
+        """Sequential re-run of the whole crawl day through the crawler's
+        own ``_process_result`` — real fetcher, live injector counts — so
+        the canonical budget/breaker truncation plays out for real.  Cache
+        lookups are still ledgered and replayed through the shadows: the
+        real caches' warmth depends on where the discarded shard attempt
+        ran, the shadows' does not."""
+        entries: List[Tuple[str, object]] = []
+        with cache_ledger(entries):
+            for _seq, vertical, term, result in work:
+                crawler._process_result(day, vertical, term, result)
+        for name, value in sorted(crawler.cache_replay.replay(entries).items()):
+            PERF.count(name, value)
+
+    # ---------------------------------------------------------------- #
+    # Reporting
+    # ---------------------------------------------------------------- #
+
+    def _emit_shard_spans(self, busy: List[float], tasks: int, steals: int) -> None:
+        if not TRACER.enabled:
+            return
+        parent = TRACER.current
+        sink = parent.children if parent is not None else TRACER.roots
+        for worker, seconds in enumerate(busy):
+            span = Span("crawl.shard", {"worker": worker})
+            span.dur_s = seconds
+            span.counters = {"tasks": tasks, "steals": steals}
+            sink.append(span)
+
+    def stats(self) -> dict:
+        """Aggregate shard accounting for BENCH payloads and manifests."""
+        per_shard = [0.0] * self.jobs
+        for row in self.day_stats:
+            for worker, seconds in enumerate(row["per_worker_busy_s"]):
+                per_shard[worker] += seconds
+        return {
+            "jobs": self.jobs,
+            "cpus": os.cpu_count() or 1,
+            "mode": self._pool_mode,
+            "crawl_days": len(self.day_stats),
+            "tasks": sum(row["tasks"] for row in self.day_stats),
+            "steals": sum(row["steals"] for row in self.day_stats),
+            "fallback_days": sum(1 for row in self.day_stats if row["fallback"]),
+            "per_shard_busy_s": [round(seconds, 6) for seconds in per_shard],
+            "crawl_wall_s": round(
+                sum(row["wall_s"] for row in self.day_stats), 6
+            ),
+        }

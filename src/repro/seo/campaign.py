@@ -398,6 +398,38 @@ class Campaign:
         self._execute_due_rotations(world, day)
         self._resign_frozen_processors(world, day)
 
+    def day_has_work(self, world, day: SimDate, blacklist_active: bool = True) -> bool:
+        """Exact no-op precheck for :meth:`on_day`.
+
+        Returns False only when every daily sub-step would provably draw
+        no randomness and mutate no state, so the simulator's batched
+        campaign pass can skip this campaign without changing any RNG
+        stream or world state.  Each clause mirrors the entry condition of
+        the corresponding ``on_day`` sub-method; keep them in sync.
+        ``blacklist_active`` lets the caller hoist the world-level
+        "any processor blacklisted?" check out of the per-campaign loop.
+        """
+        if self._doorway_plan and self._doorway_plan[0].day <= day:
+            return True  # _create_due_doorways pops a due entry
+        for rotation in self._pending_rotations:
+            if rotation.due <= day:
+                return True  # _execute_due_rotations rotates
+        interval = self.spec.proactive_rotation_days
+        for store in self.stores:
+            if store.store_id not in self._rotation_scheduled:
+                if store.current_domain.seized_as_of(day):
+                    return True  # _detect_seizures schedules (and draws)
+                if interval is not None and day - self._last_proactive.get(
+                    store.store_id, store.opened_on
+                ) >= interval:
+                    return True  # _schedule_proactive_rotations schedules
+        if blacklist_active:
+            network = world.payment_network
+            for store in self.stores:
+                if network.is_blacklisted(store.processor.name):
+                    return True  # _resign_frozen_processors reacts (and draws)
+        return False
+
     def _create_due_doorways(self, world, day: SimDate) -> None:
         while self._doorway_plan and self._doorway_plan[0].day <= day:
             pending = self._doorway_plan.pop(0)

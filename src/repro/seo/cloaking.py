@@ -15,10 +15,11 @@ Two mechanisms from Section 3.1.1:
 from __future__ import annotations
 
 import enum
+import random
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from repro.util.rng import RandomStreams
+from repro.util.rng import RandomStreams, derive_seed
 from repro.util.simtime import SimDate
 from repro.web.fetch import PageResult, VisitorProfile
 
@@ -77,14 +78,21 @@ class IframeObfuscator:
 
     All styles stay inside the subset our honest mini-renderer executes —
     matching reality, where detection works only because rendering works.
+
+    Responses must be pure functions of (campaign, target): doorway pages
+    are fetched by the measurement crawl, simulated users, and test orders
+    in an order that the crawl's process sharding does not preserve, so a
+    stateful per-request stream here would make page bytes depend on fetch
+    order.  Split-write chunk sizes therefore come from a throwaway RNG
+    seeded per (campaign seed, markup) instead of a shared stream.
     """
 
     STYLES = ("plain", "split-write", "hex-write", "charcode-dom")
 
     def __init__(self, streams: RandomStreams, campaign: str):
-        rng = streams.child(f"obfuscation:{campaign}").get("style")
-        self.style = rng.choice(self.STYLES)
-        self._rng = streams.child(f"obfuscation:{campaign}").get("chunks")
+        child = streams.child(f"obfuscation:{campaign}")
+        self.style = child.get("style").choice(self.STYLES)
+        self._chunk_seed = derive_seed(child.base_seed, *child.path, "chunks")
 
     def script_for(self, target_url: str) -> str:
         if self.style == "plain":
@@ -115,10 +123,12 @@ class IframeObfuscator:
         )
 
     def _split(self, text: str) -> list:
+        # repro: allow-D001 seed derives from the scenario seed + markup, so chunking is a pure function of (campaign, target)
+        rng = random.Random(derive_seed(self._chunk_seed, text))
         chunks = []
         pos = 0
         while pos < len(text):
-            size = self._rng.randint(4, 11)
+            size = rng.randint(4, 11)
             chunks.append(text[pos:pos + size])
             pos += size
         return chunks

@@ -41,6 +41,7 @@ from repro.classify.pipeline import AttributionResult, CampaignClassifier
 from repro.obs.metrics import MetricsRecorder
 from repro.obs.trace import TRACER
 from repro.perf.gctune import low_pause_gc
+from repro.perf.shardpool import CrawlExecutor
 
 
 @dataclass
@@ -59,6 +60,9 @@ class StudyResults:
     labeled_pages: List[LabeledPage] = field(default_factory=list)
     #: Per-sim-day time series sampled while the simulation ran.
     metrics: Optional[MetricsRecorder] = None
+    #: Shard-pool accounting from the crawl executor (jobs, cpus, steals,
+    #: per-shard busy seconds) — see ``CrawlExecutor.stats()``.
+    shard_stats: Optional[dict] = None
 
     @property
     def supplier(self):
@@ -79,6 +83,7 @@ class StudyRun:
         confidence_threshold: float = 0.5,
         classify: bool = True,
         n_jobs: int = 1,
+        jobs: int = 1,
         fault_profile: Optional[FaultProfile] = None,
         fault_seed: int = 0,
         retry_policy: Optional[RetryPolicy] = None,
@@ -99,6 +104,12 @@ class StudyRun:
         #: identical for any value (the per-class fits are independent and
         #: deterministic) — see ``tests/test_serp_determinism.py``.
         self.n_jobs = n_jobs
+        #: Crawl shard processes.  Artifacts are byte-identical for any
+        #: value — the shard pool merges worker results in canonical order
+        #: (see repro.perf.shardpool; pinned in tests/test_shardpool.py).
+        self.jobs = jobs
+        #: Set by :meth:`execute`: ``CrawlExecutor.stats()`` of the run.
+        self.shard_stats: Optional[dict] = None
         #: Chaos knobs: a fault profile makes the measurement crawl run
         #: against injected failures (ground truth is never perturbed).
         self.fault_profile = fault_profile
@@ -133,10 +144,24 @@ class StudyRun:
                 every_days=self.checkpoint_every_days,
                 die_after_day=self.die_after_day,
             )
-        world = simulator.run(
-            observers=observers, start_index=start_index,
-            checkpointer=checkpointer,
+        # One executor per run, reattached after resume at whatever --jobs
+        # level this invocation asked for (artifacts are identical either
+        # way, so cross-jobs resume is legal; the checkpoint drill does it).
+        executor = CrawlExecutor(
+            simulator, jobs=self.jobs,
+            retry_policy=crawler.fetcher.policy,
+            crawl_policy=crawler.policy,
         )
+        crawler.attach_executor(executor)
+        try:
+            world = simulator.run(
+                observers=observers, start_index=start_index,
+                checkpointer=checkpointer,
+            )
+        finally:
+            self.shard_stats = executor.stats()
+            crawler.detach_executor()
+            executor.shutdown()
         if checkpointer is not None:
             # The run completed: a stale checkpoint would otherwise make a
             # later --resume replay the tail of this finished window.
@@ -169,6 +194,7 @@ class StudyRun:
             attribution=attribution,
             labeled_pages=labeled,
             metrics=recorder,
+            shard_stats=self.shard_stats,
         )
 
     def _simulation_state(self) -> Tuple[Simulator, List[object], int]:

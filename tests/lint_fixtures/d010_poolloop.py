@@ -1,0 +1,27 @@
+"""D010 fixture: pool construction inside a loop (pos/neg/suppressed)."""
+
+import multiprocessing
+from multiprocessing import Pool
+
+
+def bad_daily_crawl(days, work):
+    results = []
+    for day in days:
+        with Pool(processes=2) as pool:  # finding: a fresh pool every day
+            results.extend(pool.map(str, work[day]))
+    return results
+
+
+def ok_persistent_pool(days, work):
+    results = []
+    with multiprocessing.get_context("spawn").Pool(2) as pool:  # no finding
+        for day in days:
+            results.extend(pool.map(str, work[day]))
+    return results
+
+
+def waived_startup_bench(days):
+    for _day in days:
+        # repro: allow-D010 fixture: the pool startup cost is the measurement
+        pool = multiprocessing.Pool(2)
+        pool.terminate()

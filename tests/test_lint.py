@@ -42,6 +42,7 @@ EXPECTED = {
     "d007_executor.py": ("D007", [10]),
     "d008_except.py": ("D008", [7, 14]),
     "d009_retry.py": ("D009", [7, 19]),
+    "d010_poolloop.py": ("D010", [10]),
 }
 
 
@@ -70,10 +71,10 @@ class TestFixtures(unittest.TestCase):
 
     def test_fixture_totals(self):
         report = lint_paths([str(FIXTURES)], all_rules(), root=str(REPO_ROOT))
-        self.assertEqual(len(report.findings), 19)
+        self.assertEqual(len(report.findings), 20)
         self.assertEqual(report.files, len(EXPECTED))
         # One waived case per fixture, none stale.
-        self.assertEqual(report.suppressions_used, 9)
+        self.assertEqual(report.suppressions_used, 10)
         self.assertEqual(report.suppressions_unused, 0)
         self.assertFalse(report.ok)
 
@@ -247,7 +248,7 @@ class TestCommandLine(unittest.TestCase):
     def test_fixture_tree_exits_nonzero(self):
         proc = run_cli("tests/lint_fixtures/")
         self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
-        self.assertIn("19 finding(s)", proc.stdout)
+        self.assertIn("20 finding(s)", proc.stdout)
 
     def test_unknown_select_exits_two(self):
         proc = run_cli("src/", "--select", "D999")
@@ -269,7 +270,7 @@ class TestCommandLine(unittest.TestCase):
         self.assertEqual(proc.returncode, 1)
         payload = json.loads(proc.stdout)
         self.assertEqual(payload["version"], 1)
-        self.assertEqual(payload["summary"]["findings"], 19)
+        self.assertEqual(payload["summary"]["findings"], 20)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,454 @@
+"""Tests for the crawl shard pool (``repro.perf.shardpool``).
+
+The contract under test is the ISSUE-6 tentpole guarantee: a study run
+sharded over ``--jobs N`` worker processes produces artifacts
+**byte-identical** to the sequential ``--jobs 1`` run — PSR dumps,
+golden SERPs, metrics rows (timing columns aside), and merged PERF
+counters — including under fault-injection profiles, forced sequential
+fallback, and cross-jobs checkpoint resume.  Work-stealing accounting
+(steals measured against the LPT home plan) is pinned with a
+deterministic round-robin pool stand-in.
+"""
+
+import os
+import tempfile
+import unittest
+from pathlib import Path
+
+from repro.crawler.serp_crawler import CrawlPolicy, SearchCrawler
+from repro.ecosystem import small_preset
+from repro.ecosystem.simulator import Simulator
+from repro.faults.checkpoint import SimulatedCrash
+from repro.faults.profiles import PROFILES
+from repro.faults.retry import RetryPolicy
+from repro.obs.trace import TRACER, set_tracing_enabled
+from repro.perf import shardpool
+from repro.perf.cache import reset_caches
+from repro.perf.shardpool import CrawlExecutor, _HostTask
+from repro.study import StudyRun
+from repro.util.perf import PERF
+
+SEED = 11
+CLEAN_DAYS = 14
+FAULT_DAYS = 12
+
+
+def _psr_bytes(results) -> bytes:
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "psrs.jsonl")
+        results.dataset.dump_jsonl(path)
+        return Path(path).read_bytes()
+
+
+def _dataset_bytes(dataset) -> bytes:
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "psrs.jsonl")
+        dataset.dump_jsonl(path)
+        return Path(path).read_bytes()
+
+
+def _masked_metrics(results):
+    """Metrics rows minus the one timing-valued column."""
+    return [
+        {k: v for k, v in row.items() if k != "serp_serve_us"}
+        for row in results.metrics.rows()
+    ]
+
+
+def _serp_fingerprint(results):
+    """Re-serve every term's final-day SERP from the post-run engine.
+
+    Sharding must leave the engine (and the world feeding it) exactly as
+    the sequential run does, so the re-serves — scores included — must
+    match bit for bit."""
+    world = results.world
+    day = world.window.end
+    fingerprint = []
+    for term in sorted(results.simulator.vertical_of_term_map()):
+        serp = world.engine.serp(term, day)
+        fingerprint.append((term, tuple(
+            (r.rank, r.url, r.label.value, r.score.hex())
+            for r in serp.results
+        )))
+    return fingerprint
+
+
+#: (jobs, profile_name, fault_seed, days, retry_tag) -> (run, results, counters)
+_RUNS = {}
+
+#: The forced-fallback retry policy: a retry budget and breaker so tight
+#: that the workers' breaker-free fetch mimic must diverge from the
+#: parent's canonical truncation under a noisy profile.
+_TIGHT_RETRY = RetryPolicy(
+    max_attempts=4, per_day_retry_budget=3,
+    breaker_threshold=2, breaker_cooldown_days=3,
+)
+
+
+def _study(jobs, profile=None, fault_seed=0, days=CLEAN_DAYS, retry=None,
+           retry_tag=""):
+    key = (jobs, profile, fault_seed, days, retry_tag)
+    if key not in _RUNS:
+        reset_caches()
+        PERF.reset()
+        run = StudyRun(
+            small_preset(days=days, seed=SEED), classify=False, jobs=jobs,
+            fault_profile=PROFILES[profile] if profile else None,
+            fault_seed=fault_seed, retry_policy=retry,
+        )
+        results = run.execute()
+        counters = {
+            name: value for name, value in PERF.counters().items()
+            if not name.startswith("shardpool.")
+        }
+        _RUNS[key] = (run, results, counters)
+    return _RUNS[key]
+
+
+class TestByteIdentityClean(unittest.TestCase):
+    """jobs=1 vs 2 vs 4 on a clean run: every artifact byte-identical."""
+
+    def test_psr_dump_byte_identical(self):
+        _, sequential, _ = _study(jobs=1)
+        expected = _psr_bytes(sequential)
+        self.assertGreater(len(expected), 0)
+        for jobs in (2, 4):
+            _, sharded, _ = _study(jobs=jobs)
+            self.assertEqual(_psr_bytes(sharded), expected,
+                             f"psrs.jsonl diverged at jobs={jobs}")
+
+    def test_metrics_rows_identical_modulo_timing(self):
+        _, sequential, _ = _study(jobs=1)
+        expected = _masked_metrics(sequential)
+        for jobs in (2, 4):
+            _, sharded, _ = _study(jobs=jobs)
+            self.assertEqual(_masked_metrics(sharded), expected)
+
+    def test_golden_serps_unperturbed(self):
+        _, sequential, _ = _study(jobs=1)
+        expected = _serp_fingerprint(sequential)
+        for jobs in (2, 4):
+            _, sharded, _ = _study(jobs=jobs)
+            self.assertEqual(_serp_fingerprint(sharded), expected)
+
+    def test_archive_identical(self):
+        _, sequential, _ = _study(jobs=1)
+        _, sharded, _ = _study(jobs=4)
+        self.assertEqual(
+            sorted(sharded.archive.doorways), sorted(sequential.archive.doorways)
+        )
+        self.assertEqual(
+            sorted(sharded.archive.stores), sorted(sequential.archive.stores)
+        )
+
+    def test_perf_counter_merge_canonical(self):
+        """Worker-accrued counters commit through the canonical replay, so
+        the merged registry (shardpool.* bookkeeping aside) matches the
+        sequential run exactly — counts and names both."""
+        _, _, expected = _study(jobs=1)
+        for jobs in (2, 4):
+            _, _, merged = _study(jobs=jobs)
+            self.assertEqual(merged, expected)
+
+    def test_clean_run_never_falls_back(self):
+        for jobs in (1, 2, 4):
+            run, _, _ = _study(jobs=jobs)
+            self.assertEqual(run.shard_stats["fallback_days"], 0)
+
+
+class TestByteIdentityUnderFaults(unittest.TestCase):
+    """The replay machinery keeps fault-profile runs canonical too."""
+
+    def _pair(self, profile, fault_seed, jobs):
+        _, sequential, seq_counters = _study(
+            jobs=1, profile=profile, fault_seed=fault_seed, days=FAULT_DAYS)
+        _, sharded, shard_counters = _study(
+            jobs=jobs, profile=profile, fault_seed=fault_seed, days=FAULT_DAYS)
+        return sequential, seq_counters, sharded, shard_counters
+
+    def test_flaky_network_byte_identical(self):
+        sequential, seq_counters, sharded, shard_counters = self._pair(
+            "flaky-network", 4, jobs=3)
+        self.assertEqual(_psr_bytes(sharded), _psr_bytes(sequential))
+        self.assertEqual(_masked_metrics(sharded), _masked_metrics(sequential))
+        self.assertEqual(shard_counters, seq_counters)
+        # Faults fired (the run was not trivially clean).
+        self.assertTrue(any(n.startswith("faults.") for n in seq_counters))
+
+    def test_monsoon_byte_identical(self):
+        sequential, seq_counters, sharded, shard_counters = self._pair(
+            "monsoon", 2, jobs=2)
+        self.assertEqual(_psr_bytes(sharded), _psr_bytes(sequential))
+        self.assertEqual(_masked_metrics(sharded), _masked_metrics(sequential))
+        self.assertEqual(shard_counters, seq_counters)
+
+    def test_injector_decisions_are_order_free(self):
+        """The whole replay scheme rests on injector decisions being pure
+        functions of (url, day, attempt) — re-asking in a different order
+        must give the same answers."""
+        profile = PROFILES["monsoon"]
+        from repro.faults.injector import FaultInjector
+        from repro.util.simtime import SimDate
+        from repro.web.fetch import SEARCH_USER
+
+        first = FaultInjector(profile, seed=9)
+        second = FaultInjector(profile, seed=9)
+        first.quiet = second.quiet = True
+        urls = [f"http://host{i}.example/p{i}.html" for i in range(30)]
+        day = SimDate("2013-11-20")
+        forward = [first.fetch_fault(u, SEARCH_USER, day, attempt)
+                   for u in urls for attempt in (1, 2)]
+        backward = [second.fetch_fault(u, SEARCH_USER, day, attempt)
+                    for u in reversed(urls) for attempt in (2, 1)]
+        backward_in_forward_order = [
+            backward[(len(urls) - 1 - i) * 2 + offset]
+            for i in range(len(urls)) for offset in (1, 0)
+        ]
+        self.assertEqual(forward, backward_in_forward_order)
+
+
+class TestForcedFallback(unittest.TestCase):
+    """A starved retry budget + hair-trigger breaker makes the parent's
+    canonical truncation disagree with the workers' breaker-free mimic:
+    the day must fall back to the sequential path — and the artifacts
+    must STILL equal the jobs=1 run, which truncates identically."""
+
+    def test_fallback_fires_and_stays_byte_identical(self):
+        run1, sequential, _ = _study(
+            jobs=1, profile="monsoon", fault_seed=2, days=FAULT_DAYS,
+            retry=_TIGHT_RETRY, retry_tag="tight")
+        run2, sharded, _ = _study(
+            jobs=2, profile="monsoon", fault_seed=2, days=FAULT_DAYS,
+            retry=_TIGHT_RETRY, retry_tag="tight")
+        self.assertGreaterEqual(run2.shard_stats["fallback_days"], 1,
+                                "tight budget/breaker never forced a fallback")
+        # jobs=1 runs the same task/merge machinery, so the (purely
+        # canonical) fallback decision must fire on exactly the same days.
+        self.assertEqual(run1.shard_stats["fallback_days"],
+                         run2.shard_stats["fallback_days"])
+        self.assertEqual(_psr_bytes(sharded), _psr_bytes(sequential))
+        self.assertEqual(_masked_metrics(sharded), _masked_metrics(sequential))
+
+
+class _ImmediateResult:
+    def __init__(self, value):
+        self._value = value
+
+    def get(self):
+        return self._value
+
+    def wait(self):
+        pass
+
+
+class _RoundRobinPool:
+    """Deterministic stand-in for the shared-queue pool: tasks are handed
+    to workers strictly round-robin in submission order.  Because
+    submission is heavy-first while the LPT home plan packs by load, the
+    two assignments disagree exactly when estimates are skewed — which is
+    what the steal counter measures."""
+
+    def __init__(self, executor, crawler):
+        self._executor = executor
+        self._crawler = crawler
+        self._next = 0
+
+    def apply_async(self, fn, args):
+        if fn is shardpool._advance_task:
+            return _ImmediateResult(None)
+        (task,) = args
+        result = self._executor._run_inline(self._crawler, task)
+        result.worker = self._next
+        self._next = (self._next + 1) % self._executor.jobs
+        return _ImmediateResult(result)
+
+    def terminate(self):
+        pass
+
+    def join(self):
+        pass
+
+
+class _SkewedExecutor(CrawlExecutor):
+    """Pretends the first host of every crawl day is VanGogh-heavy."""
+
+    _heavy = None
+
+    def _build_tasks(self, crawler, day, work):
+        tasks = super()._build_tasks(crawler, day, work)
+        if tasks:
+            self._heavy = tasks[0].host
+        return tasks
+
+    def _estimate(self, host):
+        return 1000.0 if host == self._heavy else 1.0
+
+
+def _manual_run(make_executor, days=10):
+    """Drive a crawl-only run with a hand-built executor."""
+    simulator = Simulator(small_preset(days=days, seed=SEED))
+    world = simulator.build()
+    crawler = SearchCrawler(world.web, CrawlPolicy(stride_days=2))
+    executor = make_executor(simulator, crawler)
+    crawler.attach_executor(executor)
+    try:
+        simulator.run(observers=[crawler])
+    finally:
+        crawler.detach_executor()
+        executor.shutdown()
+    return crawler, executor
+
+
+class TestWorkStealing(unittest.TestCase):
+    def test_lpt_plan_isolates_heavy_shard(self):
+        executor = CrawlExecutor(simulator=None, jobs=2)
+        executor._cost_ema = {"vangogh-heavy.net": 100.0}
+        for i in range(6):
+            executor._cost_ema[f"cheap{i}.com"] = 1.0
+        tasks = [
+            _HostTask(index=i, host=host, day_ordinal=0, encounters=[],
+                      cloaked={}, poisoned=False)
+            for i, host in enumerate(
+                ["cheap0.com", "vangogh-heavy.net"]
+                + [f"cheap{i}.com" for i in range(1, 6)]
+            )
+        ]
+        homes = executor._plan_homes(tasks)
+        heavy_home = homes[1]
+        # The heavy shard gets a worker to itself; every cheap host packs
+        # onto the other one (their combined load never reaches 100).
+        for task in tasks:
+            if task.index == 1:
+                continue
+            self.assertNotEqual(homes[task.index], heavy_home)
+
+    def test_estimate_falls_back_to_mean_then_unit(self):
+        executor = CrawlExecutor(simulator=None, jobs=2)
+        self.assertEqual(executor._estimate("never-seen.com"), 1.0)
+        executor._cost_ema = {"a.com": 2.0, "b.com": 4.0}
+        self.assertEqual(executor._estimate("never-seen.com"), 3.0)
+        self.assertEqual(executor._estimate("a.com"), 2.0)
+
+    def test_queue_steals_from_static_plan_under_skew(self):
+        """With one artificially heavy shard, the dynamic queue's
+        assignment must depart from the LPT homes (steals > 0) — and the
+        merge must keep the dataset byte-identical to sequential."""
+        def skewed(simulator, crawler):
+            executor = _SkewedExecutor(simulator, jobs=2)
+            executor._pool = _RoundRobinPool(executor, crawler)
+            executor._pool_mode = "stub"
+            return executor
+
+        stolen_crawler, stolen_executor = _manual_run(skewed)
+        stats = stolen_executor.stats()
+        self.assertGreater(stats["tasks"], 0)
+        self.assertGreater(stats["steals"], 0)
+        self.assertLess(stats["steals"], stats["tasks"])
+        self.assertEqual(stats["fallback_days"], 0)
+
+        plain_crawler, _ = _manual_run(
+            lambda simulator, crawler: CrawlExecutor(simulator, jobs=1))
+        self.assertEqual(
+            _dataset_bytes(stolen_crawler.dataset),
+            _dataset_bytes(plain_crawler.dataset),
+        )
+
+
+class TestShardStats(unittest.TestCase):
+    REQUIRED = ("jobs", "cpus", "mode", "crawl_days", "tasks", "steals",
+                "fallback_days", "per_shard_busy_s", "crawl_wall_s")
+
+    def test_stats_fields_present_and_consistent(self):
+        run, _, _ = _study(jobs=2)
+        stats = run.shard_stats
+        for field in self.REQUIRED:
+            self.assertIn(field, stats)
+        self.assertEqual(stats["jobs"], 2)
+        self.assertEqual(stats["cpus"], os.cpu_count() or 1)
+        self.assertIn(stats["mode"], ("fork", "spawn"))
+        self.assertGreater(stats["crawl_days"], 0)
+        self.assertGreater(stats["tasks"], 0)
+        self.assertEqual(len(stats["per_shard_busy_s"]), 2)
+        self.assertGreater(sum(stats["per_shard_busy_s"]), 0.0)
+        self.assertGreater(stats["crawl_wall_s"], 0.0)
+
+    def test_sequential_stats_mode_inline(self):
+        run, _, _ = _study(jobs=1)
+        stats = run.shard_stats
+        self.assertEqual(stats["jobs"], 1)
+        self.assertEqual(stats["mode"], "inline")
+        self.assertEqual(stats["steals"], 0)
+        self.assertEqual(len(stats["per_shard_busy_s"]), 1)
+
+
+class TestTracedShardedRun(unittest.TestCase):
+    def _span_names(self, span, out):
+        out.append(span)
+        for child in span.children:
+            self._span_names(child, out)
+
+    def test_shard_spans_and_worker_tracks(self):
+        """A traced jobs=2 run emits per-shard summary spans and adopts
+        the workers' crawl.host spans onto per-worker tracks."""
+        set_tracing_enabled(True)
+        TRACER.reset()
+        try:
+            StudyRun(
+                small_preset(days=10, seed=SEED), classify=False, jobs=2,
+            ).execute()
+            spans = []
+            for root in TRACER.roots:
+                self._span_names(root, spans)
+        finally:
+            set_tracing_enabled(False)
+            TRACER.reset()
+        shard_spans = [s for s in spans if s.name == "crawl.shard"]
+        self.assertTrue(shard_spans)
+        self.assertEqual({s.tags["worker"] for s in shard_spans}, {0, 1})
+        for span in shard_spans:
+            self.assertIn("tasks", span.counters)
+            self.assertIn("steals", span.counters)
+        host_spans = [s for s in spans if s.name == "crawl.host"]
+        self.assertTrue(host_spans)
+        self.assertTrue(any(getattr(s, "track", 0) > 0 for s in host_spans))
+
+
+class TestCrossJobsResume(unittest.TestCase):
+    """Satellite 2: a run killed at one ``--jobs`` level and resumed at
+    another must still produce the uninterrupted run's bytes — the
+    checkpoint digest excludes the jobs knob by design."""
+
+    def _crash_then_resume(self, crash_jobs, resume_jobs, die_after_day):
+        config = small_preset(days=CLEAN_DAYS, seed=SEED)
+        with tempfile.TemporaryDirectory() as tmp:
+            ckpt = os.path.join(tmp, "run.ckpt")
+            with self.assertRaises(SimulatedCrash):
+                StudyRun(
+                    small_preset(days=CLEAN_DAYS, seed=SEED), classify=False,
+                    jobs=crash_jobs, checkpoint_path=ckpt,
+                    die_after_day=die_after_day,
+                ).execute()
+            self.assertTrue(os.path.exists(ckpt))
+            resumed = StudyRun(
+                config, classify=False, jobs=resume_jobs,
+                checkpoint_path=ckpt, resume=True,
+            )
+            results = resumed.execute()
+            self.assertEqual(resumed.resumed_from_day, die_after_day + 1)
+            return _psr_bytes(results)
+
+    def test_kill_sharded_resume_sequential(self):
+        _, baseline, _ = _study(jobs=1)
+        got = self._crash_then_resume(crash_jobs=2, resume_jobs=1,
+                                      die_after_day=6)
+        self.assertEqual(got, _psr_bytes(baseline))
+
+    def test_kill_sequential_resume_sharded(self):
+        _, baseline, _ = _study(jobs=1)
+        got = self._crash_then_resume(crash_jobs=1, resume_jobs=4,
+                                      die_after_day=5)
+        self.assertEqual(got, _psr_bytes(baseline))
+
+
+if __name__ == "__main__":
+    unittest.main()
