@@ -49,8 +49,11 @@ def seizure_table(dataset: PsrDataset, crawler: SearchCrawler) -> List[SeizureRo
             if r.seizure_firm == firm and r.seizure_brand
         }
         # The union of Schedule A lists across this firm's observed cases.
+        # Sorted so the lookup order is deterministic: the union itself is
+        # order-insensitive today, but this path feeds the seizure table
+        # artifact and must not depend on the loop body staying commutative.
         seized_domains: Set[str] = set()
-        for case_id in case_ids:
+        for case_id in sorted(case_ids):
             notice = crawler.notices.get(case_id)
             if notice is not None:
                 seized_domains |= set(notice.co_seized)
@@ -64,7 +67,7 @@ def seizure_table(dataset: PsrDataset, crawler: SearchCrawler) -> List[SeizureRo
         for record in dataset.records:
             if record.is_store and record.campaign:
                 host_campaigns.setdefault(record.landing_host, record.campaign)
-        classified = {h for h in observed if h in host_campaigns}
+        classified = [h for h in sorted(observed) if h in host_campaigns]
         campaigns = {host_campaigns[h] for h in classified}
         rows.append(
             SeizureRow(

@@ -87,7 +87,7 @@ class ResilientFetcher:
             self._retries_today = 0
         host = parse_url(url).host
         if self._breaker_refuses(host, day):
-            PERF.count("faults.breaker.short_circuit")
+            PERF.count("faults.breaker.short_circuit")  # repro: allow-D101 ablation workers reset+merge PERF wholesale; shard workers use _TaskFetcher, never this fetcher
             return Response(
                 status=STATUS_UNREACHABLE, url=url, final_url=url,
                 fault=FAULT_CIRCUIT_OPEN,
@@ -108,10 +108,10 @@ class ResilientFetcher:
             if attempt + 1 >= policy.max_attempts:
                 break
             if self._retries_today >= policy.per_day_retry_budget:
-                PERF.count("faults.retry.budget_exhausted")
+                PERF.count("faults.retry.budget_exhausted")  # repro: allow-D101 ablation workers reset+merge PERF wholesale; shard workers use _TaskFetcher, never this fetcher
                 break
             self._retries_today += 1
-            PERF.count("faults.retried")
+            PERF.count("faults.retried")  # repro: allow-D101 ablation workers reset+merge PERF wholesale; shard workers use _TaskFetcher, never this fetcher
             backoff = min(
                 policy.backoff_cap_s, policy.base_backoff_s * (2.0 ** attempt)
             )
@@ -120,7 +120,7 @@ class ResilientFetcher:
             )
         assert response is not None
         self._note_failure(host, day)
-        PERF.count("faults.gave_up")
+        PERF.count("faults.gave_up")  # repro: allow-D101 ablation workers reset+merge PERF wholesale; shard workers use _TaskFetcher, never this fetcher
         return response
 
     #: Bound-method alias so a fetcher can stand in where a ``web`` is
@@ -160,4 +160,4 @@ class ResilientFetcher:
                 day.ordinal + self.policy.breaker_cooldown_days
             )
             self._failures.pop(host, None)
-            PERF.count("faults.breaker.opened")
+            PERF.count("faults.breaker.opened")  # repro: allow-D101 ablation workers reset+merge PERF wholesale; shard workers use _TaskFetcher, never this fetcher

@@ -322,6 +322,7 @@ def lint_paths(
     findings: List[Finding] = []
     used = 0
     unused_sites: List[Tuple[str, int]] = []
+    active_codes = {rule.code for rule in rules}
     for path in files:
         display = os.path.relpath(path, base) if os.path.isabs(path) else path
         result = lint_file(path, rules, display_path=display)
@@ -329,7 +330,10 @@ def lint_paths(
         for suppression in result.suppressions:
             if suppression.used:
                 used += 1
-            else:
+            elif any(code in active_codes for code in suppression.codes):
+                # A waiver is only "unused" when a rule it names actually
+                # ran: deep-pass (D1xx) waivers are invisible to a shallow
+                # run, and `--select D004` must not flag allow-D005 sites.
                 unused_sites.append((result.path, suppression.line))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     return LintReport(

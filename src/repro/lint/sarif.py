@@ -1,0 +1,86 @@
+"""SARIF 2.1.0 output for ``repro lint`` (shallow and deep findings).
+
+SARIF is the interchange format CI code-scanning UIs ingest; emitting it
+lets the lint-deep job upload one artifact that renders findings inline
+on the PR diff.  Only the core subset is produced: tool driver with rule
+metadata, one result per finding with a physical location.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List, Sequence
+
+from repro.lint.core import Finding
+
+SARIF_VERSION = "2.1.0"
+_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+def _rule_entry(rule) -> dict:
+    entry = {
+        "id": rule.code,
+        "name": rule.name or rule.code,
+        "shortDescription": {"text": rule.name or rule.code},
+    }
+    if rule.hint:
+        entry["help"] = {"text": rule.hint}
+    return entry
+
+
+def sarif_payload(findings: Sequence[Finding], rules: Iterable) -> dict:
+    """SARIF run object for a finished lint pass.
+
+    ``rules`` is any iterable of objects with ``code``/``name``/``hint``
+    (shallow :class:`~repro.lint.core.Rule` and flow rules both fit)."""
+    seen = set()
+    rule_entries: List[dict] = []
+    for rule in rules:
+        if rule.code in seen:
+            continue
+        seen.add(rule.code)
+        rule_entries.append(_rule_entry(rule))
+    rule_entries.sort(key=lambda r: r["id"])
+    index_of = {entry["id"]: i for i, entry in enumerate(rule_entries)}
+
+    results = []
+    for finding in findings:
+        result = {
+            "ruleId": finding.code,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path},
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.code in index_of:
+            result["ruleIndex"] = index_of[finding.code]
+        results.append(result)
+
+    return {
+        "$schema": _SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": rule_entries,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def format_sarif(findings: Sequence[Finding], rules: Iterable) -> str:
+    return json.dumps(sarif_payload(findings, rules), indent=2, sort_keys=False)

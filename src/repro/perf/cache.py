@@ -70,6 +70,8 @@ def caches_enabled() -> bool:
     return _enabled
 
 
+# repro: allow-D104 process-local switch: each pool worker configures its own cache layer
+# repro: effects=worker-safe
 def set_caches_enabled(on: bool) -> bool:
     """Flip the global cache switch; returns the previous setting.
 
@@ -135,6 +137,8 @@ class LRUCache:
     def clear(self) -> None:
         self._data.clear()
 
+    # repro: allow-D104 counter bumps are ledger-diverted in workers (cache_ledger) and replayed canonically by the parent
+    # repro: effects=worker-safe
     def get_or_build(self, key: Hashable, build: Callable[[Any], Any], arg: Any) -> Any:
         """Return the cached value for ``key``, building via ``build(arg)``
         on a miss.  Assumes the caller already checked
@@ -243,6 +247,8 @@ def render_document_cached(html: str, profile: Optional[VisitorProfile] = None) 
 
 
 @contextmanager
+# repro: allow-D104 the _LEDGER swap is process-local; workers divert cache counts into ledgers the parent replays
+# repro: effects=worker-safe
 def cache_ledger(entries: List[Tuple[str, Hashable]]) -> Iterator[List[Tuple[str, Hashable]]]:
     """Record cache lookups into ``entries`` instead of PERF counters.
 

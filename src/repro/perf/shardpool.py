@@ -740,6 +740,7 @@ class CrawlExecutor:
     # Canonical merge
     # ---------------------------------------------------------------- #
 
+    # repro: merge-root
     def _merge_day(self, crawler, day: SimDate, results: List[_TaskResult]) -> bool:
         """Apply worker results in canonical (sequential) order; returns
         False when the fetch replay diverged (state is rolled back and the
@@ -819,6 +820,7 @@ class CrawlExecutor:
             elif op == "degraded":
                 _bump(counts, f"faults.degraded.{payload}")
 
+    # repro: merge-root
     def _fallback_day(self, crawler, day: SimDate, work: List[tuple]) -> None:
         """Sequential re-run of the whole crawl day through the crawler's
         own ``_process_result`` — real fetcher, live injector counts — so

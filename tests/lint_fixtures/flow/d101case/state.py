@@ -1,0 +1,11 @@
+"""Parent-side counters a shard worker must never touch (D101 positive)."""
+
+COUNTS = {}
+
+
+def bump(name):
+    COUNTS[name] = COUNTS.get(name, 0) + 1
+
+
+def peek(name):
+    return COUNTS.get(name, 0)

@@ -1,0 +1,8 @@
+"""Worker-touched module state with a reasoned waiver (D101 waived)."""
+
+LOCAL_STATS = {}
+
+
+def tally(name):
+    # repro: allow-D101 replica-local scratch; reset per task, never read by the parent
+    LOCAL_STATS[name] = LOCAL_STATS.get(name, 0) + 1

@@ -1,0 +1,34 @@
+"""Worker entry points for the D101 fixture.
+
+``task`` reaches a parent-owned global two modules away (fires);
+``safe_task`` only reads (quiet); ``local_task`` mutates this spawning
+module's own replica state (allowed); ``waived_task`` hits a reasoned
+inline waiver in ``waived.py``.
+"""
+
+from d101case import state, waived
+
+PROGRESS = {}
+
+
+# repro: worker-entry
+def task(item):
+    state.bump("tasks")
+    return item * 2
+
+
+# repro: worker-entry
+def safe_task(item):
+    return state.peek("tasks") + item
+
+
+# repro: worker-entry
+def local_task(item):
+    PROGRESS["done"] = PROGRESS.get("done", 0) + 1
+    return item
+
+
+# repro: worker-entry
+def waived_task(item):
+    waived.tally("tasks")
+    return item

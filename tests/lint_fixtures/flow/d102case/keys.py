@@ -1,0 +1,14 @@
+"""The PR 1 bug class, split across a module boundary.
+
+``key_of`` returns ``id(entry)`` — not a dict key or set member here, so
+per-file D004 stays quiet.  Only the interprocedural pass sees the
+identity value flow into an artifact writer one module away.
+"""
+
+
+def key_of(entry):
+    return id(entry)
+
+
+def stable_key(entry):
+    return entry.name

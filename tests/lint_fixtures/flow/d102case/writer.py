@@ -1,0 +1,25 @@
+"""Artifact writers for the D102 fixture (positive / negative / waived)."""
+
+from d102case import keys
+
+
+def dump(entries, path):
+    with open(path, "w") as handle:
+        for entry in entries:
+            key = keys.key_of(entry)
+            handle.write(str(key) + "\n")
+
+
+def dump_stable(entries, path):
+    with open(path, "w") as handle:
+        for entry in entries:
+            key = keys.stable_key(entry)
+            handle.write(str(key) + "\n")
+
+
+# repro: allow-D102 keys are debug-only scratch output, never compared across runs
+def dump_waived(entries, path):
+    with open(path, "w") as handle:
+        for entry in entries:
+            key = keys.key_of(entry)
+            handle.write(str(key) + "\n")

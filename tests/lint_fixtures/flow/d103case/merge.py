@@ -1,0 +1,35 @@
+"""Merge-path ordering fixture (D103 positive / negative / waived)."""
+
+
+# repro: merge-root
+def merge(shards):
+    total = 0
+    for shard in shards:
+        total += tally(shard)
+        total += tally_sorted(shard)
+        total += tally_waived(shard)
+    return total
+
+
+def tally(shard):
+    pending = set(shard)
+    total = 0
+    for item in pending:
+        total += item
+    return total
+
+
+def tally_sorted(shard):
+    total = 0
+    for item in sorted(set(shard)):
+        total += item
+    return total
+
+
+def tally_waived(shard):
+    seen = set(shard)
+    count = 0
+    # repro: allow-D103 commutative integer count; iteration order cannot change it
+    for _item in seen:
+        count += 1
+    return count

@@ -1,0 +1,9 @@
+"""First claimant of the shared streams (lexicographically the owner)."""
+
+
+def draw_demand(streams):
+    return streams.get("demand").random()
+
+
+def draw_shared_cursor(streams):
+    return streams.get("cursor").random()

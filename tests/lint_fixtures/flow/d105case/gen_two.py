@@ -1,0 +1,14 @@
+"""Second module drawing the same streams (D105 positive / negative / waived)."""
+
+
+def draw_demand_again(streams):
+    return streams.get("demand").random()
+
+
+def draw_own(streams):
+    return streams.get("supply").random()
+
+
+def draw_cursor(streams):
+    # repro: allow-D105 intentional shared cursor: both draws replay one fixed sequence
+    return streams.get("cursor").random()

@@ -1,0 +1,26 @@
+"""Call-graph fixture: cross-module recursion cycle, decorator, global."""
+
+from graphcase import beta
+
+COUNTS = {}
+
+
+def countdown(n):
+    if n <= 0:
+        return 0
+    return beta.bounce(n - 1)
+
+
+def logged(fn):
+    def wrapper(*args, **kwargs):
+        return fn(*args, **kwargs)
+    return wrapper
+
+
+@logged
+def decorated_entry():
+    return countdown(3)
+
+
+def bump():
+    COUNTS["calls"] = COUNTS.get("calls", 0) + 1

@@ -1,0 +1,18 @@
+"""Other half of the graphcase cycle, plus a method-resolution target."""
+
+from graphcase import alpha
+
+
+class Tracker:
+    def __init__(self):
+        self.seen = []
+
+    def note(self, n):
+        self.seen.append(n)
+
+
+def bounce(n):
+    tracker = Tracker()
+    tracker.note(n)
+    alpha.bump()
+    return alpha.countdown(n)
