@@ -4,6 +4,7 @@ import json
 import os
 
 from repro.obs.manifest import run_manifest
+from repro.util.atomicio import atomic_write
 
 #: BENCH files written this session; conftest verifies each carries the
 #: run manifest before the benchmark session is allowed to pass.
@@ -37,7 +38,7 @@ def write_bench_json(name: str, payload: dict) -> str:
     so trajectories stay comparable across machines and commits.
     """
     path = os.path.join(bench_output_dir(), f"BENCH_{name}.json")
-    with open(path, "w") as handle:
+    with atomic_write(path) as handle:
         json.dump(
             {"schema": 1, "benchmark": name, "manifest": run_manifest(),
              **payload},

@@ -26,6 +26,12 @@ A classification-only pass also measures the classifier-fit speedup from
 ``n_jobs`` threads; coefficients are identical either way
 (``tests/test_classify.py`` pins that), so only the timing is recorded.
 
+A third pair of legs measures the *persistent* disk tier: two identical
+small-preset runs share one ``--disk-cache`` store (cold populates, warm
+reads back), byte-compared and recorded under the ``disk`` block together
+with the delta-checkpoint byte accounting at ``--checkpoint-every 1``
+(``REPRO_BENCH_DISK_DAYS`` sets the window, default 30).
+
 The speedup floor is asserted only at the default configuration and well
 under the measured ratio so CI noise cannot flake the suite; the JSON is
 the artifact.
@@ -40,7 +46,7 @@ import time
 from repro.classify.pipeline import CampaignClassifier
 from repro.crawler.serp_crawler import CrawlPolicy
 from repro.ecosystem import paper_preset, small_preset
-from repro.perf.cache import caches_disabled, reset_caches
+from repro.perf.cache import caches_disabled, reset_caches, set_disk_cache
 from repro.study import StudyRun
 from repro.util.perf import PERF
 
@@ -57,6 +63,65 @@ AT_DEFAULT = not any(
     for name in ("REPRO_BENCH_STUDY_PRESET", "REPRO_BENCH_SCALE",
                  "REPRO_BENCH_TERMS", "REPRO_BENCH_STUDY_DAYS")
 )
+#: Disk-tier cold/warm A/B window (small preset, always — the disk legs
+#: measure the persistent tier, not the scenario scale).
+DISK_DAYS = int(os.environ.get("REPRO_BENCH_DISK_DAYS", "30"))
+
+
+def _disk_tier_block(tmp_path):
+    """Cold -> warm small-preset A/B over one shared store, plus the
+    delta-checkpoint byte accounting at ``--checkpoint-every 1``."""
+
+    def leg():
+        reset_caches()
+        PERF.reset()
+        start = time.perf_counter()
+        results = StudyRun(small_preset(days=DISK_DAYS), classify=False,
+                           crawl_policy=CrawlPolicy(stride_days=2)).execute()
+        wall_s = time.perf_counter() - start
+        counters = {name: value
+                    for name, value in sorted(PERF.counters().items())
+                    if name.startswith("cache.")}
+        path = os.path.join(str(tmp_path), "disk_leg.jsonl")
+        results.dataset.dump_jsonl(path)
+        with open(path, "rb") as handle:
+            return wall_s, counters, handle.read()
+
+    previous = set_disk_cache(os.path.join(str(tmp_path), "dcache"))
+    try:
+        cold_s, cold_counters, cold_bytes = leg()
+        warm_s, warm_counters, warm_bytes = leg()
+    finally:
+        set_disk_cache(previous)
+        reset_caches()
+    assert warm_bytes == cold_bytes, "warm start changed the PSR records"
+    warm_hits = sum(value for name, value in warm_counters.items()
+                    if name.endswith(".disk_hit"))
+    assert warm_hits > 0, "warm leg never read the disk tier"
+    assert any(name.endswith(".write") and value > 0
+               for name, value in cold_counters.items()), \
+        "cold leg never populated the disk tier"
+
+    ckpt_run = StudyRun(small_preset(days=DISK_DAYS), classify=False,
+                        crawl_policy=CrawlPolicy(stride_days=2),
+                        checkpoint_path=os.path.join(str(tmp_path), "b.ckpt"),
+                        checkpoint_every_days=1)
+    ckpt_run.execute()
+    checkpoint = ckpt_run.checkpoint_stats
+    assert checkpoint["saves"] == DISK_DAYS
+    assert checkpoint["delta_ratio"] < 0.40, (
+        f"delta store wrote {checkpoint['delta_ratio']:.1%} "
+        "of the whole-pickle bytes"
+    )
+    return {
+        "days": DISK_DAYS,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "warm_speedup": cold_s / warm_s,
+        "cold_counters": cold_counters,
+        "warm_counters": warm_counters,
+        "checkpoint": checkpoint,
+    }
 
 
 def _study_run():
@@ -113,6 +178,9 @@ def test_study_end_to_end_perf(tmp_path):
             CampaignClassifier(n_jobs=jobs).fit(results.labeled_pages)
             fit_timing[f"fit_s_jobs{jobs}"] = time.perf_counter() - t0
 
+    # -- persistent disk tier: cold vs warm, plus delta checkpoints ----- #
+    disk = _disk_tier_block(tmp_path)
+
     shard = results.shard_stats
     assert shard is not None, "study run recorded no shard stats"
     for field in ("jobs", "cpus", "mode", "crawl_days", "tasks", "steals",
@@ -135,6 +203,7 @@ def test_study_end_to_end_perf(tmp_path):
         "perf": breakdown,
         "perf_uncached": perf_uncached,
         "cache_counters": cache_counters,
+        "disk": disk,
         **fit_timing,
     }
     write_bench_json("study", payload)
@@ -146,6 +215,12 @@ def test_study_end_to_end_perf(tmp_path):
         (f"crawl shards (jobs={CRAWL_JOBS}, {shard['mode']})", "-",
          f"{shard['crawl_wall_s']:.2f}s wall, {shard['tasks']} tasks, "
          f"{shard['steals']} steals"),
+        (f"disk warm start ({disk['days']}d small)", "-",
+         f"{disk['cold_s']:.2f}s cold -> {disk['warm_s']:.2f}s warm "
+         f"({disk['warm_speedup']:.2f}x)"),
+        ("delta checkpoints (every=1)", "< 40% of pickle",
+         f"{disk['checkpoint']['delta_ratio']:.1%} of "
+         f"{disk['checkpoint']['payload_bytes_total'] / 1e6:.1f} MB"),
     ]
     for name in ("simulator.day", "engine.serp", "web.fetch", "classifier.fit"):
         stats = breakdown.get(name)

@@ -14,6 +14,9 @@ Commands:
 * ``chaos`` — run the same scenario clean and under a named fault profile
   (:mod:`repro.faults`), report injected/retried/degraded counters, and
   assert the resilience invariants (determinism, headline tolerance);
+* ``cache`` — inspect, validate, or clear the persistent disk cache tier
+  (:mod:`repro.perf.diskcache`) that ``--disk-cache DIR`` /
+  ``REPRO_DISK_CACHE`` point study runs at;
 * ``lint`` — run the determinism/concurrency static analyzer
   (:mod:`repro.lint`) over the given paths; exits non-zero on findings.
 
@@ -56,8 +59,10 @@ from repro.lint import (
 )
 from repro.obs.manifest import run_manifest
 from repro.obs.trace import TRACER, set_tracing_enabled
-from repro.perf.cache import set_caches_enabled
+from repro.perf.cache import set_caches_enabled, set_disk_cache
+from repro.perf.diskcache import DiskCache
 from repro.reporting import render_table, sparkline_row
+from repro.util.atomicio import atomic_write
 from repro.util.perf import PERF
 
 
@@ -77,6 +82,12 @@ def _add_study_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the content-addressed caches "
                              "(bit-identical, slower)")
+    parser.add_argument("--disk-cache", default=None, metavar="DIR",
+                        help="persist cache entries under DIR so later runs "
+                             "warm-start (bit-identical; also honours the "
+                             "REPRO_DISK_CACHE environment variable)")
+    parser.add_argument("--no-disk-cache", action="store_true",
+                        help="ignore REPRO_DISK_CACHE and run memory-only")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -158,6 +169,19 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="skip the repeat chaos run that proves "
                             "same-fault-seed determinism")
 
+    cache = sub.add_parser(
+        "cache", help="inspect, validate, or clear the persistent disk cache"
+    )
+    cache.add_argument("--dir", default=None, metavar="DIR",
+                       help="cache directory (default: $REPRO_DISK_CACHE)")
+    cache.add_argument("--validate", action="store_true",
+                       help="digest-check every entry; quarantine failures "
+                            "(exit 1 when any entry was bad)")
+    cache.add_argument("--clear", action="store_true",
+                       help="remove every cached entry and the quarantine")
+    cache.add_argument("--json", action="store_true",
+                       help="print machine-readable stats")
+
     lint = sub.add_parser(
         "lint", help="run the determinism/concurrency static analyzer"
     )
@@ -185,6 +209,14 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _apply_disk_args(args) -> None:
+    """Resolve the persistent-tier knobs before any cache is touched."""
+    if getattr(args, "no_disk_cache", False):
+        set_disk_cache(None)
+    elif getattr(args, "disk_cache", None):
+        set_disk_cache(args.disk_cache)
+
+
 def _config_for(args):
     if args.preset == "paper":
         kwargs = {"scale": args.scale, "terms_per_vertical": args.terms}
@@ -199,6 +231,7 @@ def _config_for(args):
 def command_run(args) -> int:
     if args.no_cache:
         set_caches_enabled(False)
+    _apply_disk_args(args)
     if args.trace:
         set_tracing_enabled(True)
     if args.die_after_day is not None and args.checkpoint is None:
@@ -249,12 +282,12 @@ def command_run(args) -> int:
     with TRACER.span("analysis"):
         artifacts = _analysis_artifacts(args, results)
     for name, content in artifacts.items():
-        with open(os.path.join(args.out, name), "w") as handle:
+        with atomic_write(os.path.join(args.out, name)) as handle:
             handle.write(content + "\n")
     if args.trace:
         TRACER.dump_chrome_trace(os.path.join(args.out, "trace.json"),
                                  manifest=manifest)
-        with open(os.path.join(args.out, "manifest.json"), "w") as handle:
+        with atomic_write(os.path.join(args.out, "manifest.json")) as handle:
             json.dump(manifest, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(TRACER.render())
@@ -355,7 +388,7 @@ def command_ablations(args) -> int:
                                      jobs=args.jobs),
             "outcomes": [asdict(o) for o in outcomes],
         }
-        with open(args.json, "w") as handle:
+        with atomic_write(args.json) as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"\nOutcomes + manifest written to {args.json}")
@@ -365,6 +398,7 @@ def command_ablations(args) -> int:
 def command_perf(args) -> int:
     if args.no_cache:
         set_caches_enabled(False)
+    _apply_disk_args(args)
     config = _config_for(args)
     print(f"Profiling {args.preset} preset "
           f"({len(config.verticals)} verticals, {len(config.window)} days, "
@@ -386,6 +420,7 @@ def command_perf(args) -> int:
 def command_trace(args) -> int:
     if args.no_cache:
         set_caches_enabled(False)
+    _apply_disk_args(args)
     set_tracing_enabled(True)
     config = _config_for(args)
     print(f"Tracing {args.preset} preset "
@@ -426,6 +461,7 @@ def command_chaos(args) -> int:
     """
     if args.no_cache:
         set_caches_enabled(False)
+    _apply_disk_args(args)
     profile = profile_named(args.profile)
     os.makedirs(args.out, exist_ok=True)
 
@@ -513,6 +549,55 @@ def command_chaos(args) -> int:
     return 0
 
 
+def command_cache(args) -> int:
+    """Stats / integrity check / clear for the persistent disk tier."""
+    path = args.dir or os.environ.get("REPRO_DISK_CACHE")
+    if not path:
+        print("repro cache: no cache directory "
+              "(pass --dir or set REPRO_DISK_CACHE)", file=sys.stderr)
+        return 2
+    if not os.path.isdir(path) and not args.clear:
+        print(f"repro cache: {path}: no such directory", file=sys.stderr)
+        return 2
+    disk = DiskCache(path)
+    if args.clear:
+        removed = disk.clear()
+        print(f"cleared {removed} entr{'y' if removed == 1 else 'ies'} "
+              f"from {path}")
+        return 0
+    validation = None
+    if args.validate:
+        validation = disk.validate()
+    stats = disk.stats()
+    if args.json:
+        payload = dict(stats)
+        if validation is not None:
+            payload["validation"] = validation
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        rows = [
+            [name, c["entries"], f"{c['bytes'] / 1024:.0f} KiB",
+             c["hits"], c["misses"],
+             "-" if c["hit_rate"] is None else f"{c['hit_rate']:.0%}"]
+            for name, c in sorted(stats["caches"].items())
+        ]
+        print(render_table(
+            ["Cache", "Entries", "Size", "Hits", "Misses", "Hit rate"],
+            rows, title=f"Disk cache at {stats['path']}",
+        ))
+        print(f"\ntotal: {stats['entries']} entries, "
+              f"{stats['total_bytes'] / 1024 / 1024:.1f} MiB "
+              f"(cap {stats['max_bytes'] / 1024 / 1024 / 1024:.1f} GiB), "
+              f"{stats['quarantined']} quarantined")
+        if validation is not None:
+            print(f"validate: {validation['checked']} checked, "
+                  f"{validation['ok']} ok, "
+                  f"{validation['quarantined']} quarantined")
+    if validation is not None and validation["quarantined"]:
+        return 1
+    return 0
+
+
 def command_lint(args) -> int:
     from repro.lint.flow import all_flow_rules, deep_lint, flow_rule_codes, graph_dump
     from repro.lint.sarif import format_sarif
@@ -595,6 +680,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return command_trace(args)
     if args.command == "chaos":
         return command_chaos(args)
+    if args.command == "cache":
+        return command_cache(args)
     if args.command == "lint":
         return command_lint(args)
     return 2

@@ -28,7 +28,7 @@ from repro.web.fetch import Response
 from repro.web.urls import parse_url
 from repro.faults.retry import ResilientFetcher, RetryPolicy
 from repro.interventions.notices import NoticeInfo, parse_notice_page
-from repro.perf.cache import CacheReplay, cache_ledger
+from repro.perf.cache import CacheReplay, cache_ledger, disk_cache
 from repro.crawler.dagger import Dagger
 from repro.crawler.records import PageArchive, PsrDataset, PsrRecord
 from repro.crawler.store_detect import StoreDetector, StoreEvidence
@@ -101,6 +101,14 @@ class SearchCrawler:
         #: executor (plain state: rides inside checkpoints so a resumed run
         #: keeps counting from warm shadows).
         self.cache_replay = CacheReplay()
+        disk = disk_cache()
+        if disk is not None:
+            # Seed the replay's disk shadow from what is on disk *now*;
+            # from here on the shadow evolves with the crawl's own lookup
+            # stream, so counters stay canonical at any --jobs level and a
+            # resumed run continues from the pickled shadow rather than
+            # re-reading the (since grown) store.
+            self.cache_replay.attach_disk(disk.index_snapshot())
 
     def __getstate__(self) -> dict:
         # The executor holds a live process pool; the study runner

@@ -15,9 +15,12 @@ exposed to (thread-pool fits, seeded-stream discipline):
   wall-clock backoff)
 * :mod:`repro.lint.rules.poolloop` — D010 process pools constructed per
   loop iteration instead of once per run
+* :mod:`repro.lint.rules.atomicio` — D011 raw write-mode ``open()``
+  instead of the crash-safe ``atomic_write``
 """
 
 from repro.lint.rules import (  # noqa: F401
+    atomicio,
     concurrency,
     defaults,
     errors,

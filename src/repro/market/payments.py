@@ -11,6 +11,7 @@ stores engage processors directly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from hashlib import blake2b
 from typing import Dict, List, Optional
 
 from repro.util.rng import RandomStreams
@@ -36,8 +37,15 @@ class PaymentProcessor:
     cookie_name: str
 
     def merchant_id(self, store_id: str) -> str:
-        """The merchant identifier exposed in storefront HTML source."""
-        return f"{self.name.upper()}-{abs(hash((self.name, store_id))) % 10**8:08d}"
+        """The merchant identifier exposed in storefront HTML source.
+
+        Derived with a seeded digest, not builtin ``hash``: that one is
+        salted per process (PYTHONHASHSEED), which made checkout-page
+        bytes differ between runs and defeated the cross-run disk cache.
+        """
+        digest = blake2b(f"{self.name}|{store_id}".encode("utf-8"),
+                         digest_size=4).digest()
+        return f"{self.name.upper()}-{int.from_bytes(digest, 'big') % 10**8:08d}"
 
 
 @dataclass

@@ -83,7 +83,7 @@ def run_manifest(config=None, **extra) -> dict:
     ``scale=0.25``) ride along verbatim."""
     from repro import __version__
     from repro.obs.trace import tracing_enabled
-    from repro.perf.cache import caches_enabled
+    from repro.perf.cache import caches_enabled, disk_cache_path
 
     manifest = {
         "schema": MANIFEST_SCHEMA,
@@ -94,6 +94,7 @@ def run_manifest(config=None, **extra) -> dict:
         "platform": sys.platform,
         "cpus": os.cpu_count(),
         "cache_enabled": caches_enabled(),
+        "disk_cache": disk_cache_path(),
         "trace_enabled": tracing_enabled(),
         # Wall-clock is sanctioned here (provenance, not simulation state).
         "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z", time.localtime()),

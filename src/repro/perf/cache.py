@@ -32,6 +32,15 @@ The whole layer can be switched off — :func:`set_caches_enabled`,
 the :func:`caches_disabled` context manager, or ``REPRO_CACHE=0`` in the
 environment — which is how the benchmarks measure cached vs. uncached runs
 and how the correctness tests prove the two are bit-identical.
+
+Underneath the in-process LRUs sits an optional *persistent* tier
+(:mod:`repro.perf.diskcache`), keyed on the same content digests, so a
+fresh process warm-starts from artifacts a previous run derived.  It is
+enabled per-run (``--disk-cache DIR`` / :func:`set_disk_cache`) or via
+``REPRO_DISK_CACHE=<dir>``; every persistent cache reports
+``cache.<name>.disk_hit/.disk_miss/.promote/.write`` alongside the
+memory counters, and :class:`CacheReplay` shadows the disk tier so those
+counters stay canonical at any ``--jobs`` level.
 """
 
 from __future__ import annotations
@@ -44,6 +53,7 @@ from typing import Any, Callable, Dict, Hashable, Iterable, Iterator, List, Opti
 
 from repro.html.nodes import Document
 from repro.html.parser import parse_html
+from repro.perf.diskcache import DISK_MISS, DiskCache, entry_filename
 from repro.util.perf import PERF
 from repro.web.fetch import VisitorProfile
 from repro.web.render import render_document
@@ -51,6 +61,14 @@ from repro.web.render import render_document
 #: Global switch.  ``REPRO_CACHE=0`` opts a whole process out (the CI
 #: equivalence jobs use it); tests and benchmarks toggle programmatically.
 _enabled: bool = os.environ.get("REPRO_CACHE", "1") not in ("0", "false", "no")
+
+#: The persistent tier (:class:`repro.perf.diskcache.DiskCache`), off by
+#: default.  ``REPRO_DISK_CACHE=<dir>`` enables it lazily; ``--disk-cache``
+#: / :func:`set_disk_cache` set it explicitly (and explicit disable beats
+#: the environment).  ``--no-cache`` bypasses it wholesale: the disk tier
+#: only ever runs underneath the memory tier.
+_DISK: Optional[DiskCache] = None
+_disk_resolved: bool = False
 
 #: Every LRUCache ever constructed, for :func:`reset_caches`.  Module-level
 #: caches only — per-object caches (the engine's SERP memo) validate
@@ -97,9 +115,52 @@ def caches_disabled() -> Iterator[None]:
 
 
 def reset_caches() -> None:
-    """Empty every registered cache (counters in PERF are left alone)."""
+    """Empty every registered cache (counters in PERF are left alone).
+
+    The disk tier is *not* touched: dropping the memory tier is how tests
+    and benchmarks simulate a cold process start, and a cold process is
+    exactly what the disk tier exists to warm."""
     for cache in _caches:
         cache.clear()
+
+
+# repro: allow-D104 process-local switch: spawn-mode pool workers configure their own disk tier
+# repro: effects=worker-safe
+def set_disk_cache(path: Optional[str], max_bytes: Optional[int] = None) -> Optional[str]:
+    """Point the persistent tier at ``path`` (None disables it).
+
+    Returns the previously active directory (or None).  An explicit call
+    — either way — also stops the lazy ``REPRO_DISK_CACHE`` environment
+    lookup, so ``--no-disk-cache`` beats an inherited environment knob.
+    """
+    global _DISK, _disk_resolved
+    previous = _DISK.path if _DISK is not None else None
+    _disk_resolved = True
+    if path is None:
+        _DISK = None
+        return previous
+    kwargs = {} if max_bytes is None else {"max_bytes": max_bytes}
+    _DISK = DiskCache(path, **kwargs)
+    return previous
+
+
+# repro: allow-D104 lazy one-shot env resolution; each pool worker resolves its own copy
+# repro: effects=worker-safe
+def disk_cache() -> Optional[DiskCache]:
+    """The active persistent tier, resolving ``REPRO_DISK_CACHE`` once."""
+    global _DISK, _disk_resolved
+    if not _disk_resolved:
+        _disk_resolved = True
+        path = os.environ.get("REPRO_DISK_CACHE")
+        if path:
+            _DISK = DiskCache(path)
+    return _DISK
+
+
+def disk_cache_path() -> Optional[str]:
+    """Directory of the active persistent tier, or None when disabled."""
+    disk = disk_cache()
+    return disk.path if disk is not None else None
 
 
 def content_key(html: str) -> bytes:
@@ -115,20 +176,34 @@ class LRUCache:
     traffic, and report every event through :data:`PERF` afterwards.
     """
 
-    __slots__ = ("name", "maxsize", "_data", "_hit", "_miss", "_evict")
+    __slots__ = ("name", "maxsize", "persistent", "_data", "_hit", "_miss",
+                 "_evict", "_disk_hit", "_disk_miss", "_promote", "_write")
 
-    def __init__(self, name: str, maxsize: int):
+    def __init__(self, name: str, maxsize: int, persistent: bool = False):
         if maxsize < 1:
             raise ValueError("maxsize must be >= 1")
         self.name = name
         self.maxsize = maxsize
+        #: Persistent caches consult the disk tier (when one is active) on
+        #: a memory miss — see :mod:`repro.perf.diskcache` for which
+        #: caches qualify and how their entries are invalidated.
+        self.persistent = persistent
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
         self._hit = f"cache.{name}.hit"
         self._miss = f"cache.{name}.miss"
         self._evict = f"cache.{name}.evict"
+        self._disk_hit = f"cache.{name}.disk_hit"
+        self._disk_miss = f"cache.{name}.disk_miss"
+        self._promote = f"cache.{name}.promote"
+        self._write = f"cache.{name}.write"
         PERF.count(self._hit, 0)
         PERF.count(self._miss, 0)
         PERF.count(self._evict, 0)
+        if persistent:
+            PERF.count(self._disk_hit, 0)
+            PERF.count(self._disk_miss, 0)
+            PERF.count(self._promote, 0)
+            PERF.count(self._write, 0)
         _caches.append(self)
 
     def __len__(self) -> int:
@@ -149,6 +224,14 @@ class LRUCache:
         replays the canonical lookup order through :class:`CacheReplay`
         so hit/miss/evict totals stay independent of which process served
         each lookup.  Values are still served and inserted normally.
+
+        With a persistent tier active, a memory miss consults the disk
+        before building: a disk hit is promoted into the memory tier
+        (``.disk_hit`` + ``.promote``), a disk miss builds and persists
+        the result (``.disk_miss`` + ``.write``).  ``.miss`` still counts
+        every memory miss — the disk counters subdivide it.  Ledgered
+        lookups keep the same disk behaviour with the counting deferred
+        to :class:`CacheReplay`'s disk shadow.
         """
         global _LEDGER
         data = self._data
@@ -161,10 +244,31 @@ class LRUCache:
             if ledger is None:
                 PERF.count(self._hit)
             return found
+        disk = disk_cache() if self.persistent else None
         if ledger is None:
             PERF.count(self._miss)
+            if disk is not None:
+                cached = disk.load(self.name, key)
+                if cached is not DISK_MISS:
+                    PERF.count(self._disk_hit)
+                    PERF.count(self._promote)
+                    data[key] = cached
+                    if len(data) > self.maxsize:
+                        data.popitem(last=False)
+                        PERF.count(self._evict)
+                    return cached
+                PERF.count(self._disk_miss)
             value = build(arg)
+            if disk is not None and disk.store(self.name, key, value):
+                PERF.count(self._write)
         else:
+            if disk is not None:
+                cached = disk.load(self.name, key)
+                if cached is not DISK_MISS:
+                    data[key] = cached
+                    if len(data) > self.maxsize:
+                        data.popitem(last=False)
+                    return cached
             # Nested lookups made *by the build* (every derived cache's
             # build parses through the dom cache) are discarded: whether
             # they happen at all depends on this process's cache warmth,
@@ -176,6 +280,8 @@ class LRUCache:
                 value = build(arg)
             finally:
                 _LEDGER = ledger
+            if disk is not None:
+                disk.store(self.name, key, value)
         data[key] = value
         if len(data) > self.maxsize:
             data.popitem(last=False)
@@ -204,12 +310,12 @@ class LRUCache:
 #: distinct pages fit in a couple of GB; undersizing is far worse — at
 #: scale 0.25 a 2048-entry cache *thrashed* (50k evictions, hit rate
 #: under 50%) and re-parsed pages it had just dropped.
-_DOM_CACHE = LRUCache("dom", maxsize=65536)
+_DOM_CACHE = LRUCache("dom", maxsize=65536, persistent=True)
 
 #: Rendered-view cache (parse + mini-JS execution).  Sized like the DOM
 #: cache: every page the rendering crawler revisits between content
 #: rotations should still be resident.
-_RENDER_CACHE = LRUCache("render", maxsize=65536)
+_RENDER_CACHE = LRUCache("render", maxsize=65536, persistent=True)
 
 
 def parse_html_cached(html: str) -> Document:
@@ -278,6 +384,10 @@ def registered_cache_maxsize(name: str) -> int:
     raise KeyError(f"no registered cache named {name!r}")
 
 
+def _shadow_bump(counts: Dict[str, int], name: str) -> None:
+    counts[name] = counts.get(name, 0) + 1
+
+
 class CacheReplay:
     """Shadow LRU state that turns cache ledgers into canonical counters.
 
@@ -289,11 +399,29 @@ class CacheReplay:
     ``metrics.jsonl``'s ``cache_hit_rate`` column byte-identical across
     ``--jobs`` levels.  Plain picklable state: rides inside checkpoints so
     a resumed run continues counting from warm shadows even though the
-    fresh process's real caches start cold."""
+    fresh process's real caches start cold.
+
+    With a persistent tier active, :meth:`attach_disk` seeds a per-cache
+    *disk shadow* — the set of entry-file stems present when the run
+    started.  The shadow then evolves exactly as the canonical sequential
+    order would evolve the real directory (a counted ``write`` adds its
+    stem), so ``disk_hit``/``disk_miss``/``promote``/``write`` totals are
+    as schedule-independent as the memory counters.  The shadow never
+    evicts: the disk tier's cap is far above a study run's working set,
+    and an eviction would only perturb counters, never results."""
+
+    #: Class-level default so CacheReplay instances pickled before the
+    #: disk tier existed (old checkpoints) unpickle cleanly.
+    _disk: Optional[Dict[str, set]] = None
 
     def __init__(self):
         self._shadows: Dict[str, "OrderedDict[Hashable, None]"] = {}
         self._sizes: Dict[str, int] = {}
+        self._disk = None
+
+    def attach_disk(self, snapshot: Dict[str, Iterable[str]]) -> None:
+        """Seed the disk shadow from ``DiskCache.index_snapshot()``."""
+        self._disk = {name: set(stems) for name, stems in snapshot.items()}
 
     #: Caches whose build routes through :func:`parse_html_cached` exactly
     #: once, keyed on the same content hash (the render cache key carries a
@@ -321,13 +449,23 @@ class CacheReplay:
             data.move_to_end(key)
             event = f"cache.{name}.hit"
         else:
-            if name in self._NESTED_DOM:
-                # The build's inner parse happens before the outer insert.
-                self._lookup("dom", key[0] if name == "render" else key, counts)
+            disk = None if self._disk is None else self._disk.get(name)
+            stem = entry_filename(key) if disk is not None else None
+            if disk is not None and stem in disk:
+                # Disk hit: the build is skipped, so no nested dom lookup.
+                _shadow_bump(counts, f"cache.{name}.disk_hit")
+                _shadow_bump(counts, f"cache.{name}.promote")
+            else:
+                if name in self._NESTED_DOM:
+                    # The build's inner parse happens before the outer insert.
+                    self._lookup("dom", key[0] if name == "render" else key, counts)
+                if disk is not None:
+                    _shadow_bump(counts, f"cache.{name}.disk_miss")
+                    _shadow_bump(counts, f"cache.{name}.write")
+                    disk.add(stem)
             data[key] = None
             if len(data) > self._sizes[name]:
                 data.popitem(last=False)
-                evict = f"cache.{name}.evict"
-                counts[evict] = counts.get(evict, 0) + 1
+                _shadow_bump(counts, f"cache.{name}.evict")
             event = f"cache.{name}.miss"
         counts[event] = counts.get(event, 0) + 1

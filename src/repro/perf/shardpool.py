@@ -72,7 +72,7 @@ from repro.web.urls import parse_url
 from repro.faults.injector import FAULT_IP_BLOCK, FaultInjector, TRANSIENT_FAULTS
 from repro.faults.retry import RetryPolicy
 from repro.interventions.notices import parse_notice_page
-from repro.perf.cache import cache_ledger
+from repro.perf.cache import cache_ledger, disk_cache_path, set_disk_cache
 from repro.crawler.dagger import Dagger
 from repro.crawler.records import PsrRecord
 from repro.crawler.store_detect import StoreDetector
@@ -384,7 +384,8 @@ class _WorkerState:
 _WORKER: Optional[_WorkerState] = None
 
 
-def _worker_init(mode, payload, counter, retry_policy, crawl_policy) -> None:
+def _worker_init(mode, payload, counter, retry_policy, crawl_policy,
+                 disk_path) -> None:
     """Pool initializer: build (fork: adopt) this worker's world replica."""
     global _WORKER
     with counter.get_lock():
@@ -392,6 +393,10 @@ def _worker_init(mode, payload, counter, retry_policy, crawl_policy) -> None:
         counter.value += 1
     TRACER.set_enabled(False)
     TRACER.reset()
+    # Workers share the parent's persistent disk tier (content-addressed
+    # and idempotent, so concurrent writers are safe).  Fork inherits the
+    # open handle; spawn must re-point at the same directory.
+    set_disk_cache(disk_path)
     if mode == "fork":
         simulator, replica_ordinal = payload
     else:
@@ -597,7 +602,8 @@ class CrawlExecutor:
             processes=self.jobs,
             initializer=_worker_init,
             initargs=(self._pool_mode, payload, counter,
-                      self.retry_policy, self.crawl_policy),
+                      self.retry_policy, self.crawl_policy,
+                      disk_cache_path()),
         )
 
     def shutdown(self) -> None:

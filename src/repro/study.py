@@ -40,6 +40,7 @@ from repro.classify.labeling import (
 from repro.classify.pipeline import AttributionResult, CampaignClassifier
 from repro.obs.metrics import MetricsRecorder
 from repro.obs.trace import TRACER
+from repro.perf.cache import disk_cache
 from repro.perf.gctune import low_pause_gc
 from repro.perf.shardpool import CrawlExecutor
 
@@ -110,6 +111,9 @@ class StudyRun:
         self.jobs = jobs
         #: Set by :meth:`execute`: ``CrawlExecutor.stats()`` of the run.
         self.shard_stats: Optional[dict] = None
+        #: Set by :meth:`execute` when checkpointing was on:
+        #: ``Checkpointer.stats()`` (delta-store byte accounting).
+        self.checkpoint_stats: Optional[dict] = None
         #: Chaos knobs: a fault profile makes the measurement crawl run
         #: against injected failures (ground truth is never perturbed).
         self.fault_profile = fault_profile
@@ -160,8 +164,15 @@ class StudyRun:
             )
         finally:
             self.shard_stats = executor.stats()
+            if checkpointer is not None:
+                self.checkpoint_stats = checkpointer.stats()
             crawler.detach_executor()
             executor.shutdown()
+            disk = disk_cache()
+            if disk is not None:
+                # Persist lifetime hit/miss accounting; a warm run stores
+                # little, so the store-driven flush may never have fired.
+                disk.flush()
         if checkpointer is not None:
             # The run completed: a stale checkpoint would otherwise make a
             # later --resume replay the tail of this finished window.

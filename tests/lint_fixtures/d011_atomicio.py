@@ -1,0 +1,32 @@
+"""D011 fixture: raw write-mode open for artifacts (pos/neg/suppressed)."""
+
+import json
+import pickle
+
+from repro.util.atomicio import atomic_write
+
+
+def bad_dump_table(path, rows):
+    with open(path, "w") as handle:  # finding: torn file on a crash
+        handle.write("\n".join(rows))
+
+
+def bad_pickle_graph(path, graph):
+    with open(path, mode="wb") as handle:  # finding: write mode via kwarg
+        pickle.dump(graph, handle)
+
+
+def ok_read_config(path):
+    with open(path) as handle:  # no finding: read mode
+        return json.load(handle)
+
+
+def ok_atomic_dump(path, payload):
+    with atomic_write(path) as handle:  # no finding: the sanctioned writer
+        json.dump(payload, handle)
+
+
+def waived_append_log(path, line):
+    # repro: allow-D011 fixture: append-only debug log, a torn tail is fine
+    with open(path, "a") as handle:
+        handle.write(line + "\n")

@@ -43,6 +43,7 @@ EXPECTED = {
     "d008_except.py": ("D008", [7, 14]),
     "d009_retry.py": ("D009", [7, 19]),
     "d010_poolloop.py": ("D010", [10]),
+    "d011_atomicio.py": ("D011", [10, 15]),
 }
 
 
@@ -74,10 +75,10 @@ class TestFixtures(unittest.TestCase):
         # packages, which are shallow-clean by design (see test_lint_flow).
         shallow_only = sorted(str(p) for p in FIXTURES.glob("*.py"))
         report = lint_paths(shallow_only, all_rules(), root=str(REPO_ROOT))
-        self.assertEqual(len(report.findings), 20)
+        self.assertEqual(len(report.findings), 22)
         self.assertEqual(report.files, len(EXPECTED))
         # One waived case per fixture, none stale.
-        self.assertEqual(report.suppressions_used, 10)
+        self.assertEqual(report.suppressions_used, 11)
         self.assertEqual(report.suppressions_unused, 0)
         self.assertFalse(report.ok)
 
@@ -251,7 +252,7 @@ class TestCommandLine(unittest.TestCase):
     def test_fixture_tree_exits_nonzero(self):
         proc = run_cli("tests/lint_fixtures/")
         self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
-        self.assertIn("20 finding(s)", proc.stdout)
+        self.assertIn("22 finding(s)", proc.stdout)
 
     def test_unknown_select_exits_two(self):
         proc = run_cli("src/", "--select", "D999")
@@ -273,7 +274,7 @@ class TestCommandLine(unittest.TestCase):
         self.assertEqual(proc.returncode, 1)
         payload = json.loads(proc.stdout)
         self.assertEqual(payload["version"], 1)
-        self.assertEqual(payload["summary"]["findings"], 20)
+        self.assertEqual(payload["summary"]["findings"], 22)
 
 
 if __name__ == "__main__":
