@@ -65,9 +65,25 @@ def test_lint_tree_and_record_analyzer_cost():
     assert shallow.rule_codes == registered_codes()
     assert cold.rule_codes == flow_rule_codes()
 
-    payload = {"version": SCHEMA_VERSION, "manifest": run_manifest()}
+    manifest = run_manifest()
+    payload = {"version": SCHEMA_VERSION, "manifest": manifest}
     payload.update(summary_dict(shallow, cold))
     payload["deep"]["stats_warm"] = warm.stats.to_dict()
+    # The analyzer's cost profile joins the run ledger like every other
+    # benchmark, keyed bench:lint, so the gate can band the warm-pass time.
+    ledger_metrics = {
+        "modules": cold.stats.modules,
+        "call_edges": cold.stats.call_edges,
+        "deep_lint": {
+            "cold_s": cold.stats.total_s,
+            "warm_s": warm.stats.total_s,
+        },
+    }
+    from repro.obs.ledger import RunLedger, build_bench_record, flatten
+    flat = flatten(ledger_metrics)
+    payload["history"] = benchlib.bench_history("lint", flat)
+    RunLedger(benchlib.ledger_path()).append(
+        build_bench_record("lint", flat, manifest=manifest))
     path = os.path.join(benchlib.bench_output_dir(), "BENCH_lint.json")
     with atomic_write(path) as handle:
         json.dump(payload, handle, indent=2)

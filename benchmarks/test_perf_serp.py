@@ -237,6 +237,12 @@ def test_serp_columnar_vs_scalar():
         "memo_us_per_serp_median": statistics.median(memo_reps) / per_query * 1e6,
         "memo_speedup_vs_columnar": columnar_us / memo_us,
         "memo_hits": serp_hits,
+    }, ledger_metrics={
+        "scalar_us_per_serp": scalar_us,
+        "columnar_us_per_serp": columnar_us,
+        "memo_us_per_serp": memo_us,
+        "speedup": speedup,
+        "memo_speedup_vs_columnar": columnar_us / memo_us,
     })
     print_comparison("SERP serving (us/serp)", [
         ("scalar (seed)", "-", f"{scalar_us:.1f}"),

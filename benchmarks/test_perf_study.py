@@ -46,7 +46,12 @@ import time
 from repro.classify.pipeline import CampaignClassifier
 from repro.crawler.serp_crawler import CrawlPolicy
 from repro.ecosystem import paper_preset, small_preset
-from repro.perf.cache import caches_disabled, reset_caches, set_disk_cache
+from repro.perf.cache import (
+    caches_disabled,
+    disk_cache,
+    reset_caches,
+    set_disk_cache,
+)
 from repro.study import StudyRun
 from repro.util.perf import PERF
 
@@ -91,6 +96,16 @@ def _disk_tier_block(tmp_path):
     try:
         cold_s, cold_counters, cold_bytes = leg()
         warm_s, warm_counters, warm_bytes = leg()
+        # Store-health snapshot after both legs: entry/byte totals vs the
+        # cap and the quarantine count, for the release gate's bands.
+        stats = disk_cache().stats()
+        store = {
+            "entries": stats["entries"],
+            "total_bytes": stats["total_bytes"],
+            "max_bytes": stats["max_bytes"],
+            "utilization": stats["utilization"],
+            "quarantined": stats["quarantined"],
+        }
     finally:
         set_disk_cache(previous)
         reset_caches()
@@ -121,6 +136,7 @@ def _disk_tier_block(tmp_path):
         "cold_counters": cold_counters,
         "warm_counters": warm_counters,
         "checkpoint": checkpoint,
+        "store": store,
     }
 
 
@@ -206,7 +222,19 @@ def test_study_end_to_end_perf(tmp_path):
         "disk": disk,
         **fit_timing,
     }
-    write_bench_json("study", payload)
+    serp_stats = breakdown.get("engine.serp") or {}
+    write_bench_json("study", payload, ledger_metrics={
+        "psrs": len(results.dataset),
+        "total_s_uncached": total_s_uncached,
+        "total_s_cached": total_s_cached,
+        "cache_speedup": speedup,
+        "serp_mean_us": serp_stats.get("mean_us", 0.0),
+        "disk_cold_s": disk["cold_s"],
+        "disk_warm_s": disk["warm_s"],
+        "disk_warm_speedup": disk["warm_speedup"],
+        "checkpoint_delta_ratio": disk["checkpoint"]["delta_ratio"],
+        "disk_store": disk["store"],
+    })
 
     rows = [
         ("total (uncached)", "-", f"{total_s_uncached:.2f}s"),

@@ -17,8 +17,18 @@ Commands:
 * ``cache`` — inspect, validate, or clear the persistent disk cache tier
   (:mod:`repro.perf.diskcache`) that ``--disk-cache DIR`` /
   ``REPRO_DISK_CACHE`` point study runs at;
+* ``gate`` — compare the latest run-ledger record against the committed
+  baseline (``baselines/gate.json``) with per-table tolerance bands
+  (:mod:`repro.obs.gate`); exit 1 on drift, 2 on missing inputs;
+* ``history`` — render the ledger's record list and per-metric
+  trajectories as sparklines;
+* ``compare`` — diff two ledger records metric by metric;
 * ``lint`` — run the determinism/concurrency static analyzer
   (:mod:`repro.lint`) over the given paths; exits non-zero on findings.
+
+``run`` and ``chaos`` append one record per completed run to the ledger
+named by ``--ledger`` / ``REPRO_LEDGER`` (no ledger → no append), which
+is what ``gate``/``history``/``compare`` read.
 
 ``run`` also carries the crash-safety knobs: ``--checkpoint`` persists
 per-sim-day state, ``--resume`` continues a killed run from it, and
@@ -57,11 +67,30 @@ from repro.lint import (
     select_rules,
     write_summary,
 )
+from repro.obs.gate import (
+    gate_history,
+    gate_metrics,
+    load_baseline,
+    run_gate,
+    write_baseline,
+)
+from repro.obs.ledger import (
+    LEDGER_ENV,
+    RunLedger,
+    build_study_record,
+    timed,
+)
 from repro.obs.manifest import run_manifest
 from repro.obs.trace import TRACER, set_tracing_enabled
 from repro.perf.cache import set_caches_enabled, set_disk_cache
 from repro.perf.diskcache import DiskCache
-from repro.reporting import render_table, sparkline_row
+from repro.reporting import (
+    render_drift_table,
+    render_history,
+    render_record_diff,
+    render_table,
+    sparkline_row,
+)
 from repro.util.atomicio import atomic_write
 from repro.util.perf import PERF
 
@@ -88,6 +117,19 @@ def _add_study_args(parser: argparse.ArgumentParser) -> None:
                              "REPRO_DISK_CACHE environment variable)")
     parser.add_argument("--no-disk-cache", action="store_true",
                         help="ignore REPRO_DISK_CACHE and run memory-only")
+
+
+def _add_ledger_args(parser: argparse.ArgumentParser,
+                     writes: bool = False) -> None:
+    hint = ("append a run record to" if writes else "read records from")
+    parser.add_argument("--ledger", default=None, metavar="PATH",
+                        help=f"{hint} this JSONL run ledger "
+                             f"(default: ${LEDGER_ENV}"
+                             + ("; no ledger, no append)" if writes else ")"))
+
+
+def _ledger_path(args) -> Optional[str]:
+    return args.ledger or os.environ.get(LEDGER_ENV) or None
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -118,6 +160,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--die-after-day", type=int, default=None, metavar="N",
                      help="crash drill: checkpoint after sim-day index N, "
                           "then exit with code 3")
+    _add_ledger_args(run, writes=True)
 
     ablations = sub.add_parser("ablations", help="run intervention counterfactuals")
     ablations.add_argument("--days", type=int, default=70, help="window length")
@@ -147,6 +190,9 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(open in chrome://tracing or ui.perfetto.dev)")
     trace.add_argument("--metrics", default=None, metavar="PATH",
                        help="write the per-sim-day metrics.jsonl series")
+    trace.add_argument("--telemetry", default=None, metavar="PATH",
+                       help="write the per-sim-day telemetry.jsonl sidecar "
+                            "(serve µs, shard + disk gauges)")
     trace.add_argument("--counters", action="store_true",
                        help="also show PERF counter deltas per span")
     trace.add_argument("--sparklines", action="store_true",
@@ -168,6 +214,54 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--skip-verify", action="store_true",
                        help="skip the repeat chaos run that proves "
                             "same-fault-seed determinism")
+    _add_ledger_args(chaos, writes=True)
+
+    gate = sub.add_parser(
+        "gate", help="band the latest ledger record against the baseline"
+    )
+    _add_ledger_args(gate)
+    gate.add_argument("--baseline", default="baselines/gate.json",
+                      metavar="PATH", help="committed baseline file")
+    gate.add_argument("--key", default=None,
+                      help="gate the latest record with this key "
+                           "(default: the ledger's latest record)")
+    gate.add_argument("--kind", default=None,
+                      help="restrict record selection to this kind "
+                           "(e.g. study, bench:study)")
+    gate.add_argument("--update", action="store_true",
+                      help="write/refresh the baseline entry from the "
+                           "selected record instead of gating")
+    gate.add_argument("--verdict", default=None, metavar="PATH",
+                      help="also write the deterministic verdict lines "
+                           "(byte-identical across jobs/cache variants "
+                           "on a clean run)")
+    gate.add_argument("--report", default=None, metavar="PATH",
+                      help="also write the full drift report "
+                           "(values + ledger-history sparklines)")
+
+    history = sub.add_parser(
+        "history", help="render ledger record list + metric trajectories"
+    )
+    _add_ledger_args(history)
+    history.add_argument("paths", nargs="*",
+                         default=["psr.total", "psr.doorways", "psr.stores",
+                                  "wall_s"],
+                         help="metric dot-paths to sparkline "
+                              "(default: headline counts + wall time)")
+    history.add_argument("--kind", default=None,
+                         help="filter records by kind")
+    history.add_argument("--key", default=None,
+                         help="filter records by comparability key")
+    history.add_argument("--limit", type=int, default=32, metavar="N",
+                         help="show at most the last N records")
+
+    compare = sub.add_parser(
+        "compare", help="diff two ledger records metric by metric"
+    )
+    _add_ledger_args(compare)
+    compare.add_argument("ref_a", help="record: index (-1 = latest) or "
+                                       "run-id prefix")
+    compare.add_argument("ref_b", help="record: index or run-id prefix")
 
     cache = sub.add_parser(
         "cache", help="inspect, validate, or clear the persistent disk cache"
@@ -257,7 +351,8 @@ def command_run(args) -> int:
         die_after_day=args.die_after_day,
     )
     try:
-        results = study.execute()
+        with timed() as clock:
+            results = study.execute()
     except SimulatedCrash:
         print(f"simulated crash after day index {args.die_after_day}; "
               f"checkpoint saved to {args.checkpoint} "
@@ -272,12 +367,15 @@ def command_run(args) -> int:
 
     dataset.dump_jsonl(os.path.join(args.out, "psrs.jsonl"),
                        manifest=manifest if args.trace else None)
-    # metrics.jsonl rides with --trace only: its serve-µs column and
-    # manifest header are timing/provenance data, and plain runs keep the
-    # documented guarantee that same-seed artifacts diff byte-identical.
+    # metrics.jsonl rides with --trace only; its rows are deterministic
+    # (timing gauges live in telemetry.jsonl), but its manifest header is
+    # provenance, and plain runs keep the documented guarantee that
+    # same-seed artifacts diff byte-identical.
     if args.trace and results.metrics is not None:
         results.metrics.write_jsonl(os.path.join(args.out, "metrics.jsonl"),
                                     manifest=manifest)
+        results.metrics.write_telemetry_jsonl(
+            os.path.join(args.out, "telemetry.jsonl"), manifest=manifest)
 
     with TRACER.span("analysis"):
         artifacts = _analysis_artifacts(args, results)
@@ -293,9 +391,20 @@ def command_run(args) -> int:
         print(TRACER.render())
     print(artifacts["summary.txt"])
     extras = "psrs.jsonl" if not args.trace else \
-        "psrs.jsonl, metrics.jsonl, trace.json, manifest.json"
+        "psrs.jsonl, metrics.jsonl, telemetry.jsonl, trace.json, manifest.json"
     print(f"\nArtifacts written to {args.out}/ "
           f"({', '.join(sorted(artifacts))} + {extras})")
+    ledger_path = _ledger_path(args)
+    if ledger_path:
+        record = RunLedger(ledger_path).append(build_study_record(
+            config, results, wall_s=clock["wall_s"], stride=args.stride,
+            jobs=args.jobs, preset=args.preset, profile=args.profile,
+            fault_seed=args.fault_seed,
+            # Fault-injected runs are their own kind: their headline
+            # numbers must never blend into the clean study history.
+            kind="study" if args.profile is None else "faulted",
+        ))
+        print(f"Ledger record {record['run_id']} appended to {ledger_path}")
     return 0
 
 
@@ -441,6 +550,8 @@ def command_trace(args) -> int:
     if args.sparklines and results.metrics is not None:
         print()
         print(results.metrics.render_sparklines())
+        print()
+        print(results.metrics.render_telemetry_sparklines())
     if args.json:
         TRACER.dump_chrome_trace(args.json, manifest=manifest)
         print(f"\nChrome trace written to {args.json} "
@@ -448,6 +559,10 @@ def command_trace(args) -> int:
     if args.metrics and results.metrics is not None:
         results.metrics.write_jsonl(args.metrics, manifest=manifest)
         print(f"Per-sim-day metrics written to {args.metrics}")
+    if args.telemetry and results.metrics is not None:
+        results.metrics.write_telemetry_jsonl(args.telemetry,
+                                              manifest=manifest)
+        print(f"Per-sim-day telemetry written to {args.telemetry}")
     return 0
 
 
@@ -456,9 +571,14 @@ def command_chaos(args) -> int:
 
     Asserts the resilience invariants the fault layer guarantees: the
     chaos run completes (no crash), the same fault seed reproduces
-    byte-identical output, and the headline PSR count stays within
-    ``--tolerance`` of the clean run.  Exit 1 on any violation.
+    byte-identical output, and the headline counts stay within
+    ``--tolerance`` of the clean run — checked with the same band
+    machinery the release gate uses (:func:`repro.obs.gate.check_bands`),
+    the clean run acting as the baseline.  Exit 1 on any violation.
     """
+    from repro.obs.gate import Band, check_bands
+    from repro.obs.ledger import flatten
+
     if args.no_cache:
         set_caches_enabled(False)
     _apply_disk_args(args)
@@ -479,9 +599,11 @@ def command_chaos(args) -> int:
     print(f"Chaos drill: {args.preset} preset, profile '{profile.name}' "
           f"(fault seed {args.fault_seed}, {len(config.window)} days)...",
           flush=True)
-    clean = run_study()
+    with timed() as clean_clock:
+        clean = run_study()
     counter_base = dict(PERF.counters())
-    chaos = run_study(profile)
+    with timed() as chaos_clock:
+        chaos = run_study(profile)
     fault_counters = {
         name: value - counter_base.get(name, 0)
         for name, value in sorted(PERF.counters().items())
@@ -491,23 +613,29 @@ def command_chaos(args) -> int:
     clean.dataset.dump_jsonl(os.path.join(args.out, "psrs-clean.jsonl"))
     chaos.dataset.dump_jsonl(os.path.join(args.out, "psrs.jsonl"))
     if chaos.metrics is not None:
+        chaos_manifest = run_manifest(config, fault_profile=profile.name,
+                                      fault_seed=args.fault_seed)
         chaos.metrics.write_jsonl(
-            os.path.join(args.out, "metrics.jsonl"),
-            manifest=run_manifest(config, fault_profile=profile.name,
-                                  fault_seed=args.fault_seed),
-        )
+            os.path.join(args.out, "metrics.jsonl"), manifest=chaos_manifest)
+        chaos.metrics.write_telemetry_jsonl(
+            os.path.join(args.out, "telemetry.jsonl"),
+            manifest=chaos_manifest)
 
-    rows = []
-    for label, fn in (
-        ("PSRs", len),
-        ("doorway domains", lambda d: len(d.doorway_hosts())),
-        ("stores", lambda d: len(d.store_hosts())),
-    ):
-        clean_n, chaos_n = fn(clean.dataset), fn(chaos.dataset)
-        ratio = chaos_n / clean_n if clean_n else 1.0
-        rows.append([label, clean_n, chaos_n, f"{ratio:.2f}x"])
-    print(render_table(["Metric", "clean", "chaos", "ratio"], rows,
-                       title=f"Clean vs '{profile.name}'"))
+    # The clean run is the baseline; the chaos run must stay inside the
+    # tolerance bands.  Only the banded paths are enforced — the rest of
+    # the headline tree rides along for the report.
+    bands = [
+        Band("psr.total", rel_tol=args.tolerance, abs_tol=2),
+        Band("psr.doorways", rel_tol=args.tolerance, abs_tol=2),
+        Band("psr.stores", rel_tol=args.tolerance, abs_tol=2),
+    ]
+    checks = check_bands(flatten(chaos.headline()),
+                         flatten(clean.headline()), bands)
+    print(render_drift_table(
+        checks,
+        title=f"Clean vs '{profile.name}' "
+              f"(tolerance {args.tolerance:.0%})",
+    ))
     print("\nFault counters (chaos run):")
     if fault_counters:
         for name, value in fault_counters.items():
@@ -516,14 +644,15 @@ def command_chaos(args) -> int:
         print("  (none injected)")
 
     failures = []
-    clean_n = len(clean.dataset)
-    chaos_n = len(chaos.dataset)
-    deviation = abs(chaos_n - clean_n) / clean_n if clean_n else 0.0
-    if deviation > args.tolerance:
-        failures.append(
-            f"headline PSR count deviates {deviation:.1%} from clean "
-            f"(tolerance {args.tolerance:.0%})"
-        )
+    for check in checks:
+        if check.status == "drift":
+            failures.append(
+                f"{check.path} deviates beyond tolerance: clean "
+                f"{check.baseline:g}, chaos {check.current:g} "
+                f"(allowed ±{check.allowed:g})"
+            )
+        elif check.status == "missing":
+            failures.append(f"{check.path} missing from the chaos run")
     if not args.skip_verify:
         print("\nVerifying same-fault-seed determinism (repeat chaos run)...",
               flush=True)
@@ -541,11 +670,151 @@ def command_chaos(args) -> int:
             failures.append("repeat chaos run with the same fault seed "
                             "produced different output")
 
+    ledger_path = _ledger_path(args)
+    if ledger_path:
+        ledger = RunLedger(ledger_path)
+        ledger.append(build_study_record(
+            config, clean, wall_s=clean_clock["wall_s"], stride=args.stride,
+            jobs=args.jobs, preset=args.preset, kind="study",
+        ))
+        record = ledger.append(build_study_record(
+            config, chaos, wall_s=chaos_clock["wall_s"], stride=args.stride,
+            jobs=args.jobs, preset=args.preset, kind="chaos",
+            profile=profile.name, fault_seed=args.fault_seed,
+        ))
+        print(f"\nLedger records (clean + chaos, latest {record['run_id']}) "
+              f"appended to {ledger_path}")
+
     if failures:
         for failure in failures:
             print(f"\nINVARIANT VIOLATED: {failure}")
         return 1
     print(f"\nAll resilience invariants hold; artifacts in {args.out}/")
+    return 0
+
+
+def command_gate(args) -> int:
+    """Band the latest ledger record against the committed baseline.
+
+    Exit 0 when every banded metric holds, 1 on drift (or a banded
+    baseline metric the run lost), 2 on missing inputs (no ledger, no
+    matching record, no baseline entry for the record's key).
+    """
+    ledger_path = _ledger_path(args)
+    if not ledger_path:
+        print(f"repro gate: no ledger (pass --ledger or set ${LEDGER_ENV})",
+              file=sys.stderr)
+        return 2
+    ledger = RunLedger(ledger_path)
+    record = ledger.latest(kind=args.kind, key=args.key)
+    if record is None:
+        print(f"repro gate: {ledger_path}: no matching run record",
+              file=sys.stderr)
+        return 2
+
+    if args.update:
+        existing = None
+        if os.path.exists(args.baseline):
+            existing = load_baseline(args.baseline)
+        write_baseline(args.baseline, [record], existing=existing)
+        print(f"baseline entry for {record['key']} "
+              f"(run {record['run_id']}) written to {args.baseline}")
+        return 0
+
+    try:
+        baseline = load_baseline(args.baseline)
+    except FileNotFoundError:
+        print(f"repro gate: {args.baseline}: no baseline file "
+              f"(create one with --update)", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"repro gate: {exc}", file=sys.stderr)
+        return 2
+    result = run_gate(record, baseline)
+    if result is None:
+        print(f"repro gate: {args.baseline}: no baseline entry for key "
+              f"{record['key']} (add one with --update)", file=sys.stderr)
+        return 2
+
+    verdict = "\n".join(result.verdict_lines())
+    print(verdict)
+    if args.verdict:
+        with atomic_write(args.verdict) as handle:
+            handle.write(verdict + "\n")
+
+    report_parts = [render_drift_table(
+        result.checks, title=f"Drift report for {record['key']} "
+                             f"(run {record['run_id']})")]
+    series = gate_history(ledger, result.checks, key=record["key"],
+                          kind=record.get("kind"))
+    report_parts.append(render_history(series))
+    report = "\n\n".join(report_parts)
+    if args.report:
+        with atomic_write(args.report) as handle:
+            handle.write(report + "\n")
+        print(f"\nDrift report written to {args.report}")
+    if not result.ok:
+        print()
+        print(report)
+        return 1
+    return 0
+
+
+def command_history(args) -> int:
+    """Ledger record list + per-metric trajectories."""
+    ledger_path = _ledger_path(args)
+    if not ledger_path:
+        print(f"repro history: no ledger "
+              f"(pass --ledger or set ${LEDGER_ENV})", file=sys.stderr)
+        return 2
+    ledger = RunLedger(ledger_path)
+    records = ledger.records(kind=args.kind, key=args.key)
+    if not records:
+        print(f"repro history: {ledger_path}: no matching run records",
+              file=sys.stderr)
+        return 2
+    shown = records[-args.limit:]
+    rows = []
+    for record in shown:
+        manifest = record.get("manifest") or {}
+        rows.append([
+            record.get("run_id", "?"),
+            record.get("kind", "?"),
+            str(record.get("key", "?"))[:24],
+            str(manifest.get("git_sha"))[:12],
+            f"{record['wall_s']:.1f}s" if record.get("wall_s") else "-",
+            manifest.get("created_at", "-"),
+        ])
+    print(render_table(
+        ["Run", "Kind", "Key", "Git", "Wall", "Created"],
+        rows, title=f"Ledger {ledger_path} "
+                    f"({len(shown)} of {len(records)} records)",
+    ))
+    series = ledger.history(args.paths, kind=args.kind, key=args.key)
+    series = {path: values[-args.limit:]
+              for path, values in sorted(series.items()) if values}
+    if series:
+        print()
+        print(render_history(series))
+    return 0
+
+
+def command_compare(args) -> int:
+    """Metric-by-metric diff of two ledger records."""
+    ledger_path = _ledger_path(args)
+    if not ledger_path:
+        print(f"repro compare: no ledger "
+              f"(pass --ledger or set ${LEDGER_ENV})", file=sys.stderr)
+        return 2
+    ledger = RunLedger(ledger_path)
+    try:
+        record_a = ledger.find(args.ref_a)
+        record_b = ledger.find(args.ref_b)
+    except LookupError as exc:
+        print(f"repro compare: {exc}", file=sys.stderr)
+        return 2
+    print(render_record_diff(record_a, record_b,
+                             gate_metrics(record_a), gate_metrics(record_b)))
     return 0
 
 
@@ -680,6 +949,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return command_trace(args)
     if args.command == "chaos":
         return command_chaos(args)
+    if args.command == "gate":
+        return command_gate(args)
+    if args.command == "history":
+        return command_history(args)
+    if args.command == "compare":
+        return command_compare(args)
     if args.command == "cache":
         return command_cache(args)
     if args.command == "lint":

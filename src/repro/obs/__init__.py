@@ -18,6 +18,14 @@ registry:
 * :mod:`repro.obs.manifest` — run provenance.  One dict (config digest,
   seed, git SHA, host, versions, cache/trace switches) embedded in every
   emitted artifact so benchmark trajectories are comparable across runs.
+* :mod:`repro.obs.ledger` — the longitudinal run ledger.  Every study,
+  chaos drill, and benchmark appends one keyed JSONL record (manifest,
+  switches, wall time, PERF snapshot, headline metrics) to an append-only
+  file, turning one-shot artifacts into a time series.
+* :mod:`repro.obs.gate` — tolerance bands over ledger records.  ``repro
+  gate`` compares the latest record against a committed baseline with
+  per-table abs/rel bands (metric kind: deterministic, value-rendered;
+  perf kind: host-fingerprint-gated) and fails CI on drift.
 
 Tracing is off by default and never touches simulation state: a traced
 run's study outputs are byte-identical to an untraced run's
@@ -25,8 +33,26 @@ run's study outputs are byte-identical to an untraced run's
 """
 
 from repro.obs.manifest import config_digest, git_sha, run_manifest
-from repro.obs.metrics import METRICS_COLUMNS, MetricsRecorder
+from repro.obs.metrics import (
+    METRICS_COLUMNS,
+    TELEMETRY_COLUMNS,
+    MetricsRecorder,
+)
 from repro.obs.trace import TRACER, set_tracing_enabled, tracing_enabled
+from repro.obs.ledger import (
+    RunLedger,
+    build_bench_record,
+    build_study_record,
+    record_metrics,
+)
+from repro.obs.gate import (
+    Band,
+    BandCheck,
+    DEFAULT_BANDS,
+    GateResult,
+    check_bands,
+    run_gate,
+)
 
 __all__ = [
     "TRACER",
@@ -34,7 +60,18 @@ __all__ = [
     "tracing_enabled",
     "MetricsRecorder",
     "METRICS_COLUMNS",
+    "TELEMETRY_COLUMNS",
     "run_manifest",
     "config_digest",
     "git_sha",
+    "RunLedger",
+    "build_study_record",
+    "build_bench_record",
+    "record_metrics",
+    "Band",
+    "BandCheck",
+    "DEFAULT_BANDS",
+    "GateResult",
+    "check_bands",
+    "run_gate",
 ]

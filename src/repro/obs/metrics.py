@@ -8,20 +8,27 @@ the day) and samples once per simulated day:
 
 * crawl output — new PSRs, active/cumulative doorway domains, stores;
 * intervention state — labeled and penalized hosts in the engine;
-* hot-path health — SERPs served and mean serve µs (from the always-on
-  PERF timer deltas), content-addressed cache hit rate.
+* hot-path health — SERPs served and content-addressed cache hit rate.
+
+The samples split into two files with different determinism contracts:
+
+* ``metrics.jsonl`` (:data:`METRICS_COLUMNS`) — **deterministic**: every
+  column derives from simulation state or exact counter deltas, so the
+  file is byte-identical for a seed at any ``--jobs`` level, cached or
+  not (pinned in ``tests/test_shardpool.py`` with no column masking).
+* ``telemetry.jsonl`` (:data:`TELEMETRY_COLUMNS`) — **timing/host
+  gauges**: mean SERP serve µs, shard-pool task/steal/fallback gauges,
+  disk-tier hit rate.  These legitimately vary run to run and live in a
+  sidecar so they can never contaminate the deterministic artifact.
 
 Storage is columnar (one list per column) so sampling is O(counters) per
 day and a column feeds :func:`repro.reporting.sparkline.sparkline_row`
-directly.  ``write_jsonl`` emits one JSON row per simulated day —
-``metrics.jsonl`` next to the study artifacts — with an optional leading
-provenance row carrying the run manifest (consumers skip rows whose
-``_type`` is not ``sample``; :meth:`load_jsonl` does).
+directly.  Both writers emit one JSON row per simulated day with an
+optional leading provenance row carrying the run manifest (consumers
+skip rows whose ``_type`` is not ``sample``; :meth:`load_jsonl` does).
 
-Timing-valued columns (``serp_serve_us``) vary run to run; everything
-else is deterministic for a seed.  Recording reads simulation state and
-never writes it: studies run with a recorder attached produce
-byte-identical outputs (pinned in ``tests/test_obs.py``).
+Recording reads simulation state and never writes it: studies run with a
+recorder attached produce byte-identical outputs (``tests/test_obs.py``).
 """
 
 from __future__ import annotations
@@ -34,6 +41,8 @@ from repro.util.atomicio import atomic_write
 from repro.util.perf import PERF
 
 #: Column order of one metrics row (the JSONL schema, golden-tested).
+#: Every column is deterministic for a seed — timing gauges live in
+#: :data:`TELEMETRY_COLUMNS` instead.
 METRICS_COLUMNS: Tuple[str, ...] = (
     "day",              # ISO sim-date
     "day_index",        # 0-based offset in the study window
@@ -43,13 +52,25 @@ METRICS_COLUMNS: Tuple[str, ...] = (
     "doorways_seen",    # cumulative distinct doorway hosts
     "stores_seen",      # cumulative distinct landing stores
     "serps_served",     # engine.serp timer calls this day
-    "serp_serve_us",    # mean engine.serp µs this day (0 when memoized away)
     "labels_active",    # hosts carrying a SERP warning label
     "penalties_active", # hosts under a ranking penalty
     "cache_hit_rate",   # content-addressed cache hits/(hits+misses) this day
     "faults_injected",  # faults.injected.* counter deltas this day
     "faults_retried",   # fetch attempts retried after a transient fault
     "faults_degraded",  # records dropped/deferred because inputs were damaged
+)
+
+#: Column order of one telemetry row: wall-clock and host-dependent
+#: gauges, segregated so ``metrics.jsonl`` stays byte-identical across
+#: jobs/cache variants.
+TELEMETRY_COLUMNS: Tuple[str, ...] = (
+    "day",              # ISO sim-date
+    "day_index",        # 0-based offset in the study window
+    "serp_serve_us",    # mean engine.serp µs this day (0 when memoized away)
+    "shard_tasks",      # crawl tasks enqueued to the shard pool this day
+    "shard_steals",     # work-stealing moves this day
+    "shard_fallback",   # 1 when the day fell back to the sequential path
+    "disk_hit_rate",    # disk-tier hits/(hits+misses) this day
 )
 
 
@@ -61,14 +82,20 @@ class MetricsRecorder:
         #: recorder without one still tracks engine/cache/serve columns).
         self.crawler = crawler
         self.columns: Dict[str, List] = {name: [] for name in METRICS_COLUMNS}
+        #: Telemetry sidecar columns (timing/host gauges).
+        self.telemetry: Dict[str, List] = {
+            name: [] for name in TELEMETRY_COLUMNS}
         self._day_index = 0
         self._records_seen = 0
         self._store_hosts: set = set()
+        #: Shard-pool ``day_stats`` rows already folded into telemetry.
+        self._shard_rows_seen = 0
         # Deltas count from construction, not process start: the PERF
         # registry is process-global and may already carry earlier runs.
         self._serp_base = self._serp_totals()
         self._cache_base = self._cache_totals()
         self._fault_base = self._fault_totals()
+        self._disk_base = self._disk_totals()
 
     def rebase(self) -> None:
         """Re-anchor PERF-delta baselines to the *current* registry totals.
@@ -81,6 +108,10 @@ class MetricsRecorder:
         self._serp_base = self._serp_totals()
         self._cache_base = self._cache_totals()
         self._fault_base = self._fault_totals()
+        self._disk_base = self._disk_totals()
+        # The resumed process's executor starts with an empty day_stats
+        # list; stale row counts would make the first delta negative.
+        self._shard_rows_seen = 0
 
     # ------------------------------------------------------------------ #
     # Observer interface
@@ -92,6 +123,9 @@ class MetricsRecorder:
         hits, misses = self._cache_delta()
         looked_up = hits + misses
         injected, retried, degraded = self._fault_delta()
+        disk_hits, disk_misses = self._disk_delta()
+        disk_looked_up = disk_hits + disk_misses
+        shard_tasks, shard_steals, shard_fallback = self._shard_delta()
 
         psrs_today = 0
         active_doorways = 0
@@ -120,7 +154,6 @@ class MetricsRecorder:
             "doorways_seen": doorways_seen,
             "stores_seen": stores_seen,
             "serps_served": serp_calls,
-            "serp_serve_us": (serp_s / serp_calls * 1e6) if serp_calls else 0.0,
             "labels_active": len(world.engine.labeled_hosts()),
             "penalties_active": len(world.engine.penalized_hosts()),
             "cache_hit_rate": (hits / looked_up) if looked_up else 0.0,
@@ -130,6 +163,18 @@ class MetricsRecorder:
         }
         for name in METRICS_COLUMNS:
             self.columns[name].append(row[name])
+        gauges = {
+            "day": day.isoformat(),
+            "day_index": self._day_index,
+            "serp_serve_us": (serp_s / serp_calls * 1e6) if serp_calls else 0.0,
+            "shard_tasks": shard_tasks,
+            "shard_steals": shard_steals,
+            "shard_fallback": shard_fallback,
+            "disk_hit_rate": (
+                disk_hits / disk_looked_up) if disk_looked_up else 0.0,
+        }
+        for name in TELEMETRY_COLUMNS:
+            self.telemetry[name].append(gauges[name])
         self._day_index += 1
 
     @staticmethod
@@ -163,6 +208,39 @@ class MetricsRecorder:
         return hits - hits0, misses - misses0
 
     @staticmethod
+    def _disk_totals() -> Tuple[int, int]:
+        hits = 0
+        misses = 0
+        for name, value in PERF.counters().items():
+            if not name.startswith("cache."):
+                continue
+            if name.endswith(".disk_hit"):
+                hits += value
+            elif name.endswith(".disk_miss"):
+                misses += value
+        return hits, misses
+
+    def _disk_delta(self) -> Tuple[int, int]:
+        hits, misses = self._disk_totals()
+        hits0, misses0 = self._disk_base
+        self._disk_base = (hits, misses)
+        return hits - hits0, misses - misses0
+
+    def _shard_delta(self) -> Tuple[int, int, int]:
+        """(tasks, steals, fallback-days) from executor day_stats rows
+        added since the last sample.  Zeroes on non-crawl days or when no
+        executor is attached (analysis-only recorders)."""
+        executor = getattr(self.crawler, "_executor", None)
+        if executor is None:
+            return 0, 0, 0
+        rows = executor.day_stats[self._shard_rows_seen:]
+        self._shard_rows_seen = len(executor.day_stats)
+        tasks = sum(r["tasks"] for r in rows)
+        steals = sum(r["steals"] for r in rows)
+        fallback = sum(1 for r in rows if r["fallback"])
+        return tasks, steals, fallback
+
+    @staticmethod
     def _fault_totals() -> Tuple[int, int, int]:
         injected = 0
         retried = 0
@@ -190,8 +268,11 @@ class MetricsRecorder:
         return len(self.columns["day"])
 
     def series(self, name: str) -> List:
-        """One column as a list (sparkline-ready)."""
-        return list(self.columns[name])
+        """One column as a list (sparkline-ready); telemetry names work
+        too — the column sets are disjoint apart from the day keys."""
+        if name in self.columns:
+            return list(self.columns[name])
+        return list(self.telemetry[name])
 
     def rows(self) -> List[dict]:
         return [
@@ -199,21 +280,37 @@ class MetricsRecorder:
             for i in range(len(self))
         ]
 
+    def telemetry_rows(self) -> List[dict]:
+        return [
+            {name: self.telemetry[name][i] for name in TELEMETRY_COLUMNS}
+            for i in range(len(self.telemetry["day"]))
+        ]
+
     def write_jsonl(self, path: str, manifest: Optional[dict] = None) -> None:
         """One JSON row per simulated day; optional manifest header row."""
+        self._write_rows(path, self.rows(), manifest)
+
+    def write_telemetry_jsonl(self, path: str,
+                              manifest: Optional[dict] = None) -> None:
+        """The timing-gauge sidecar (``telemetry.jsonl``)."""
+        self._write_rows(path, self.telemetry_rows(), manifest)
+
+    @staticmethod
+    def _write_rows(path: str, rows: List[dict],
+                    manifest: Optional[dict]) -> None:
         with atomic_write(path) as handle:
             if manifest is not None:
                 handle.write(json.dumps(
                     {"_type": "manifest", **manifest}, sort_keys=True))
                 handle.write("\n")
-            for row in self.rows():
+            for row in rows:
                 handle.write(json.dumps({"_type": "sample", **row},
                                         sort_keys=True))
                 handle.write("\n")
 
     @staticmethod
     def load_jsonl(path: str) -> Tuple[Optional[dict], List[dict]]:
-        """(manifest or None, sample rows) from a metrics.jsonl file."""
+        """(manifest or None, sample rows) from a metrics/telemetry file."""
         manifest: Optional[dict] = None
         rows: List[dict] = []
         with open(path) as handle:
@@ -242,18 +339,37 @@ class MetricsRecorder:
         return manifest, rows
 
     def render_sparklines(self, width: int = 60) -> str:
-        """The key series as terminal sparklines (Figure-3 style)."""
+        """The key deterministic series as terminal sparklines."""
         from repro.reporting.sparkline import sparkline_row
 
         lines = [f"Per-sim-day metrics ({len(self)} days)"]
         for name in ("psrs", "active_doorways", "labels_active",
-                     "penalties_active", "serps_served", "serp_serve_us"):
+                     "penalties_active", "serps_served"):
             lines.append(sparkline_row(
                 name, [float(v) for v in self.columns[name]],
                 width=width, as_percent=False,
             ))
         lines.append(sparkline_row(
             "cache_hit_rate", [float(v) for v in self.columns["cache_hit_rate"]],
+            width=width, as_percent=True,
+        ))
+        return "\n".join(lines)
+
+    def render_telemetry_sparklines(self, width: int = 60) -> str:
+        """The timing/shard/disk gauges as terminal sparklines."""
+        from repro.reporting.sparkline import sparkline_row
+
+        days = len(self.telemetry["day"])
+        lines = [f"Per-sim-day telemetry ({days} days)"]
+        for name in ("serp_serve_us", "shard_tasks", "shard_steals",
+                     "shard_fallback"):
+            lines.append(sparkline_row(
+                name, [float(v) for v in self.telemetry[name]],
+                width=width, as_percent=False,
+            ))
+        lines.append(sparkline_row(
+            "disk_hit_rate",
+            [float(v) for v in self.telemetry["disk_hit_rate"]],
             width=width, as_percent=True,
         ))
         return "\n".join(lines)

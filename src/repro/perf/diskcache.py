@@ -404,6 +404,9 @@ class DiskCache:
             "schema": DISK_SCHEMA,
             "max_bytes": self.max_bytes,
             "total_bytes": self._total_bytes,
+            "utilization": (
+                self._total_bytes / self.max_bytes if self.max_bytes else 0.0
+            ),
             "entries": sum(len(files) for files in self._index.values()),
             "quarantined": self.quarantined,
             "caches": per_cache,

@@ -69,6 +69,98 @@ class StudyResults:
     def supplier(self):
         return self.simulator.supplier
 
+    def headline(self) -> dict:
+        """The run's headline metrics as one nested, JSON-serializable dict.
+
+        This is the shared vocabulary of the gate, the chaos drill, and the
+        benchmarks: PSR/doorway/store counts, every Table 1–3 cell keyed by
+        row, PSR-curve quantiles per vertical, and seized-store lifetime
+        brackets per firm.  Values are derived purely from the deterministic
+        study artifacts, so two runs of the same scenario produce equal
+        trees at any ``--jobs`` level, cached or not.
+        """
+        # Local imports: the analysis layer's ablation runner imports
+        # StudyRun, so importing analysis at module level would cycle.
+        from repro.analysis import (
+            DailyAggregates,
+            campaign_table,
+            label_coverage,
+            poisoning_series,
+            seized_store_lifetimes,
+            seizure_table,
+            vertical_table,
+        )
+        from repro.util.stats import percentile
+
+        dataset = self.dataset
+        aggregates = DailyAggregates(dataset)
+        tree: dict = {
+            "psr": {
+                "total": len(dataset),
+                "doorways": len(dataset.doorway_hosts()),
+                "stores": len(dataset.store_hosts()),
+            },
+            "labels": {"coverage": label_coverage(dataset).coverage},
+        }
+        if self.attribution is not None:
+            tree["attribution"] = {
+                "rate": self.attribution.attribution_rate,
+                "campaigns": len(self.attribution.campaigns),
+            }
+        tree["table1"] = {
+            r.vertical: {
+                "psrs": r.psrs,
+                "doorways": r.doorways,
+                "stores": r.stores,
+                "campaigns": r.campaigns,
+            }
+            for r in vertical_table(dataset, aggregates)
+        }
+        brand_names = [b.name for b in self.world.brand_catalog.all()]
+        tree["table2"] = {
+            r.campaign: {
+                "doorways": r.doorways,
+                "stores": r.stores,
+                "brands": r.brands,
+                "peak_days": r.peak_days,
+            }
+            for r in campaign_table(dataset, self.archive, brand_names,
+                                    aggregates=aggregates)
+        }
+        tree["table3"] = {
+            r.firm: {
+                "cases": r.cases,
+                "brands": r.brands,
+                "seized_domains": r.seized_domains,
+                "observed_stores": r.observed_stores,
+                "classified_stores": r.classified_stores,
+                "campaigns": r.campaigns,
+            }
+            for r in seizure_table(dataset, self.crawler)
+        }
+        curve: dict = {}
+        for vertical in dataset.verticals():
+            values = [v for _, v in
+                      poisoning_series(dataset, vertical, 100, aggregates)]
+            if not values:
+                continue
+            curve[vertical] = {
+                "min": min(values),
+                "p50": percentile(values, 50),
+                "p90": percentile(values, 90),
+                "max": max(values),
+            }
+        tree["psr_curve"] = curve
+        tree["lifetimes"] = {
+            s.firm: {
+                "measured": s.measured,
+                "mean_lower_days": s.mean_lower_days,
+                "mean_upper_days": s.mean_upper_days,
+            }
+            for s in seized_store_lifetimes(dataset)
+        }
+        return tree
+
 
 class StudyRun:
     """Configurable pipeline from scenario to attributed PSR dataset."""

@@ -13,6 +13,12 @@ no file — never a torn artifact.
 
 On any exception inside the block the temporary file is removed and the
 destination is left untouched.
+
+Append-only files (the run ledger) use :func:`append_line` instead: one
+``os.write`` of the whole newline-terminated record onto an ``O_APPEND``
+descriptor.  A crash mid-write leaves at most one torn final line, which
+the ledger loader tolerates; the next append self-heals by inserting a
+newline before its record when the file does not end with one.
 """
 
 from __future__ import annotations
@@ -51,3 +57,28 @@ def atomic_write(path: str, mode: str = "w", encoding: str = "utf-8") -> Iterato
         except OSError:
             pass
         raise
+
+
+def append_line(path: str, line: str, encoding: str = "utf-8") -> None:
+    """Append one newline-terminated record to ``path`` crash-tolerantly.
+
+    The whole record goes down in a single ``os.write`` on an ``O_APPEND``
+    descriptor and is fsynced before the descriptor closes, so concurrent
+    appenders never interleave bytes and a crash leaves at most one torn
+    final line.  If an earlier crash left the file without a trailing
+    newline, the write is prefixed with one so the torn tail stays a
+    single recoverable line instead of corrupting this record too.
+    """
+    data = line if line.endswith("\n") else line + "\n"
+    payload = data.encode(encoding)
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        if os.fstat(fd).st_size > 0:
+            with open(path, "rb") as tail:
+                tail.seek(-1, os.SEEK_END)
+                if tail.read(1) != b"\n":
+                    payload = b"\n" + payload
+        os.write(fd, payload)
+        os.fsync(fd)
+    finally:
+        os.close(fd)

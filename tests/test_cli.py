@@ -79,12 +79,36 @@ class TestTraceCommands:
                      "--trace", "--out", out])
         assert code == 0
         for name in ("trace.json", "manifest.json", "metrics.jsonl",
-                     "psrs.jsonl"):
+                     "telemetry.jsonl", "psrs.jsonl"):
             assert os.path.getsize(os.path.join(out, name)) > 0, name
         with open(os.path.join(out, "manifest.json")) as handle:
             manifest = json.load(handle)
         assert manifest["trace_enabled"] is True
         assert "digest" in manifest["config"]
+        from repro.obs.metrics import TELEMETRY_COLUMNS, MetricsRecorder
+
+        _, rows = MetricsRecorder.load_jsonl(
+            os.path.join(out, "telemetry.jsonl"))
+        assert rows
+        # Serialized rows are sort_keys=True; the column *set* is the
+        # schema contract here (order is pinned on the in-memory rows).
+        assert all(set(row) == set(TELEMETRY_COLUMNS) for row in rows)
+
+    def test_run_appends_ledger_record(self, tmp_path, capsys):
+        out = str(tmp_path / "study")
+        ledger_path = str(tmp_path / "ledger.jsonl")
+        code = main(["run", "--preset", "small", "--stride", "3",
+                     "--out", out, "--ledger", ledger_path])
+        assert code == 0
+        assert "Ledger record" in capsys.readouterr().out
+        from repro.obs.ledger import RunLedger
+
+        records = RunLedger(ledger_path).records()
+        assert len(records) == 1
+        record = records[0]
+        assert record["kind"] == "study"
+        assert record["headline"]["psr"]["total"] > 0
+        assert record["switches"]["stride"] == 3
 
     def test_untraced_run_writes_no_observability_artifacts(self, tmp_path):
         # Plain runs keep byte-identical same-seed artifacts; metrics and
@@ -92,6 +116,7 @@ class TestTraceCommands:
         out = str(tmp_path / "study")
         main(["run", "--preset", "small", "--stride", "3", "--out", out])
         assert not os.path.exists(os.path.join(out, "metrics.jsonl"))
+        assert not os.path.exists(os.path.join(out, "telemetry.jsonl"))
         assert not os.path.exists(os.path.join(out, "trace.json"))
         assert not os.path.exists(os.path.join(out, "manifest.json"))
 

@@ -18,7 +18,11 @@ import pytest
 from repro.crawler.records import PsrDataset
 from repro.ecosystem import small_preset
 from repro.obs.manifest import config_digest, run_manifest
-from repro.obs.metrics import METRICS_COLUMNS, MetricsRecorder
+from repro.obs.metrics import (
+    METRICS_COLUMNS,
+    TELEMETRY_COLUMNS,
+    MetricsRecorder,
+)
 from repro.obs.trace import TRACER, Span, set_tracing_enabled
 from repro.study import StudyRun
 
@@ -150,6 +154,19 @@ class TestMetricsSchema:
         assert rows[-1]["psrs_total"] > 0
         assert any(row["serps_served"] > 0 for row in rows)
         assert any(row["cache_hit_rate"] > 0 for row in rows)
+        # Timing gauges live in the telemetry sidecar, never here.
+        assert "serp_serve_us" not in METRICS_COLUMNS
+
+    def test_telemetry_sidecar_rows(self, traced_run):
+        results, _ = traced_run
+        rows = results.metrics.telemetry_rows()
+        assert len(rows) == DAYS
+        for row in rows:
+            assert tuple(row) == TELEMETRY_COLUMNS
+        # The serve-µs gauge carries signal on crawl days.
+        assert any(row["serp_serve_us"] > 0 for row in rows)
+        # The inline executor still counts its tasks.
+        assert any(row["shard_tasks"] > 0 for row in rows)
 
     def test_write_load_round_trip_with_manifest(self, traced_run, tmp_path):
         results, _ = traced_run
@@ -161,11 +178,22 @@ class TestMetricsSchema:
             manifest["config"]["digest"]
         assert rows == results.metrics.rows()
 
+    def test_telemetry_round_trip(self, traced_run, tmp_path):
+        results, _ = traced_run
+        path = str(tmp_path / "telemetry.jsonl")
+        results.metrics.write_telemetry_jsonl(path)
+        _, rows = MetricsRecorder.load_jsonl(path)
+        assert rows == results.metrics.telemetry_rows()
+
     def test_sparkline_rendering(self, traced_run):
         results, _ = traced_run
         text = results.metrics.render_sparklines()
         assert "psrs" in text
         assert "cache_hit_rate" in text
+        assert "serp_serve_us" not in text
+        telemetry = results.metrics.render_telemetry_sparklines()
+        assert "serp_serve_us" in telemetry
+        assert "disk_hit_rate" in telemetry
 
 
 class TestManifest:

@@ -3,7 +3,8 @@
 The contract under test is the ISSUE-6 tentpole guarantee: a study run
 sharded over ``--jobs N`` worker processes produces artifacts
 **byte-identical** to the sequential ``--jobs 1`` run — PSR dumps,
-golden SERPs, metrics rows (timing columns aside), and merged PERF
+golden SERPs, metrics rows (timing gauges live in the telemetry
+sidecar, so the rows compare whole), and merged PERF
 counters — including under fault-injection profiles, forced sequential
 fallback, and cross-jobs checkpoint resume.  Work-stealing accounting
 (steals measured against the LPT home plan) is pinned with a
@@ -45,14 +46,6 @@ def _dataset_bytes(dataset) -> bytes:
         path = os.path.join(tmp, "psrs.jsonl")
         dataset.dump_jsonl(path)
         return Path(path).read_bytes()
-
-
-def _masked_metrics(results):
-    """Metrics rows minus the one timing-valued column."""
-    return [
-        {k: v for k, v in row.items() if k != "serp_serve_us"}
-        for row in results.metrics.rows()
-    ]
 
 
 def _serp_fingerprint(results):
@@ -117,12 +110,12 @@ class TestByteIdentityClean(unittest.TestCase):
             self.assertEqual(_psr_bytes(sharded), expected,
                              f"psrs.jsonl diverged at jobs={jobs}")
 
-    def test_metrics_rows_identical_modulo_timing(self):
+    def test_metrics_rows_identical(self):
         _, sequential, _ = _study(jobs=1)
-        expected = _masked_metrics(sequential)
+        expected = sequential.metrics.rows()
         for jobs in (2, 4):
             _, sharded, _ = _study(jobs=jobs)
-            self.assertEqual(_masked_metrics(sharded), expected)
+            self.assertEqual(sharded.metrics.rows(), expected)
 
     def test_golden_serps_unperturbed(self):
         _, sequential, _ = _study(jobs=1)
@@ -170,7 +163,7 @@ class TestByteIdentityUnderFaults(unittest.TestCase):
         sequential, seq_counters, sharded, shard_counters = self._pair(
             "flaky-network", 4, jobs=3)
         self.assertEqual(_psr_bytes(sharded), _psr_bytes(sequential))
-        self.assertEqual(_masked_metrics(sharded), _masked_metrics(sequential))
+        self.assertEqual(sharded.metrics.rows(), sequential.metrics.rows())
         self.assertEqual(shard_counters, seq_counters)
         # Faults fired (the run was not trivially clean).
         self.assertTrue(any(n.startswith("faults.") for n in seq_counters))
@@ -179,7 +172,7 @@ class TestByteIdentityUnderFaults(unittest.TestCase):
         sequential, seq_counters, sharded, shard_counters = self._pair(
             "monsoon", 2, jobs=2)
         self.assertEqual(_psr_bytes(sharded), _psr_bytes(sequential))
-        self.assertEqual(_masked_metrics(sharded), _masked_metrics(sequential))
+        self.assertEqual(sharded.metrics.rows(), sequential.metrics.rows())
         self.assertEqual(shard_counters, seq_counters)
 
     def test_injector_decisions_are_order_free(self):
@@ -227,7 +220,7 @@ class TestForcedFallback(unittest.TestCase):
         self.assertEqual(run1.shard_stats["fallback_days"],
                          run2.shard_stats["fallback_days"])
         self.assertEqual(_psr_bytes(sharded), _psr_bytes(sequential))
-        self.assertEqual(_masked_metrics(sharded), _masked_metrics(sequential))
+        self.assertEqual(sharded.metrics.rows(), sequential.metrics.rows())
 
 
 class _ImmediateResult:
